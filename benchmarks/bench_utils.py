@@ -1,0 +1,59 @@
+"""Helpers shared by the benchmark harness."""
+
+from __future__ import annotations
+
+from repro.models.base import ForecastError
+from repro.models.registry import create_forecaster
+from repro.timeseries.calendar import MINUTES_PER_DAY, points_per_day
+from repro.timeseries.series import LoadSeries
+
+#: The four "regions of different sizes" used across Figures 11 and 12.
+REGION_SIZES = {"region-0": 120, "region-1": 60, "region-2": 30, "region-3": 15}
+
+#: Models compared in Figure 11 (display letter as in the paper's legend).
+FIGURE11_MODELS = {
+    "persistent_previous_day": "PF",
+    "ssa": "N (Nimbus)",
+    "feedforward": "G (Gluon)",
+    "seasonal_additive": "P (Prophet)",
+}
+
+
+def forecast_backup_day(
+    model_name: str,
+    series: LoadSeries,
+    day: int,
+    training_days: int = 7,
+) -> LoadSeries | None:
+    """Fit ``model_name`` on the week before ``day`` and forecast that day."""
+    day_start = day * MINUTES_PER_DAY
+    history = series.slice(day_start - training_days * MINUTES_PER_DAY, day_start)
+    if history.is_empty:
+        return None
+    forecaster = create_forecaster(model_name)
+    try:
+        forecaster.fit(history)
+        forecast = forecaster.predict(points_per_day(series.interval_minutes))
+    except ForecastError:
+        return None
+    # Only accept forecasts that actually cover the target day: servers whose
+    # telemetry stops early would otherwise produce misaligned predictions.
+    if forecast.start != day_start:
+        return None
+    return forecast
+
+
+def print_table(title: str, header: list[str], rows: list[list]) -> None:
+    """Print one reproduced table in a fixed-width layout."""
+    print(f"\n=== {title} ===")
+    formatted_rows = [
+        [f"{cell:.2f}" if isinstance(cell, float) else str(cell) for cell in row]
+        for row in rows
+    ]
+    widths = [
+        max(len(str(header[i])), max((len(row[i]) for row in formatted_rows), default=0)) + 2
+        for i in range(len(header))
+    ]
+    print("".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in formatted_rows:
+        print("".join(cell.ljust(w) for cell, w in zip(row, widths)))

@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures on the
+synthetic substrate and prints the corresponding rows/series, so that
+``pytest benchmarks/ --benchmark-only -s`` reproduces the whole evaluation
+section.  Fleet sizes are scaled down from production so the harness runs
+on a laptop; the qualitative shapes (who wins, orderings, crossovers) are
+what is being reproduced, not absolute numbers.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from bench_utils import REGION_SIZES
+from repro.telemetry.fleet import default_fleet_spec, sql_database_fleet_spec
+from repro.telemetry.generator import WorkloadGenerator
+from repro.timeseries.frame import LoadFrame
+
+
+@pytest.fixture(scope="session")
+def four_region_fleet() -> LoadFrame:
+    """A four-region fleet mirroring the paper's four differently sized regions."""
+    spec = default_fleet_spec(
+        servers_per_region=tuple(REGION_SIZES.values()), weeks=4, seed=101
+    )
+    return WorkloadGenerator(spec).generate_fleet()
+
+
+@pytest.fixture(scope="session")
+def region_frames(four_region_fleet) -> dict[str, LoadFrame]:
+    return {
+        region: four_region_fleet.filter(lambda md, s, region=region: md.region == region)
+        for region in REGION_SIZES
+    }
+
+
+@pytest.fixture(scope="session")
+def sql_fleet() -> LoadFrame:
+    spec = sql_database_fleet_spec(n_databases=80, weeks=4, seed=131)
+    return WorkloadGenerator(spec).generate_fleet()

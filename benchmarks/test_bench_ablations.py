@@ -1,0 +1,143 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* the asymmetric +10/-5 acceptable error bound vs. symmetric alternatives,
+* the 90% bucket-ratio accuracy threshold,
+* the three-week predictability history gate,
+* the choice of persistent-forecast variant (previous day vs. previous
+  equivalent day vs. previous-week average).
+
+None of these are paper figures; they quantify how sensitive the headline
+metrics are to the constants the paper says were "empirically chosen by
+domain experts".
+"""
+
+import pytest
+
+from bench_utils import forecast_backup_day, print_table
+from repro.metrics.bucket_ratio import ErrorBound
+from repro.metrics.evaluation import AccuracyEvaluationModule
+
+EVALUATION_DAYS = (13, 20, 27)
+
+
+def _fleet_predictions(fleet, model_name="persistent_previous_day", limit=120):
+    predictions = {}
+    days_by_server = {}
+    for server_id in fleet.server_ids()[:limit]:
+        series = fleet.series(server_id)
+        combined = None
+        used = []
+        for day in EVALUATION_DAYS:
+            forecast = forecast_backup_day(model_name, series, day)
+            if forecast is None:
+                continue
+            used.append(day)
+            combined = forecast if combined is None else combined.concat(forecast)
+        if combined is not None:
+            predictions[server_id] = combined
+            days_by_server[server_id] = used
+    return predictions, days_by_server
+
+
+def test_ablation_error_bound(benchmark, four_region_fleet):
+    """Symmetric bounds vs. the deployed asymmetric +10/-5 bound."""
+    predictions, days = _fleet_predictions(four_region_fleet)
+    bounds = {
+        "+10/-5 (deployed)": ErrorBound(10.0, 5.0),
+        "+5/-5 (tight symmetric)": ErrorBound(5.0, 5.0),
+        "+10/-10 (loose symmetric)": ErrorBound(10.0, 10.0),
+        "+20/-10 (loose)": ErrorBound(20.0, 10.0),
+    }
+
+    def run():
+        rows = []
+        for label, bound in bounds.items():
+            module = AccuracyEvaluationModule(bound=bound)
+            summary = module.summarize(module.evaluate(four_region_fleet, predictions, days))
+            rows.append([label, summary.pct_windows_correct, summary.pct_load_accurate,
+                         summary.pct_predictable_servers])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Ablation: acceptable error bound",
+        ["bound", "% windows correct", "% load accurate", "% predictable"],
+        rows,
+    )
+    by_label = {row[0]: row for row in rows}
+    # Loosening the bound can only help; tightening can only hurt.
+    assert by_label["+10/-10 (loose symmetric)"][2] >= by_label["+10/-5 (deployed)"][2]
+    assert by_label["+5/-5 (tight symmetric)"][2] <= by_label["+10/-5 (deployed)"][2]
+
+
+def test_ablation_accuracy_threshold(benchmark, four_region_fleet):
+    """Sensitivity of the three headline metrics to the 90% bucket-ratio bar."""
+    predictions, days = _fleet_predictions(four_region_fleet)
+    thresholds = (0.80, 0.90, 0.95, 0.99)
+
+    def run():
+        rows = []
+        for threshold in thresholds:
+            module = AccuracyEvaluationModule(accuracy_threshold=threshold)
+            summary = module.summarize(module.evaluate(four_region_fleet, predictions, days))
+            rows.append([f"{threshold:.0%}", summary.pct_load_accurate,
+                         summary.pct_predictable_servers])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Ablation: bucket-ratio accuracy threshold",
+        ["threshold", "% load accurate", "% predictable"],
+        rows,
+    )
+    accurate = [row[1] for row in rows]
+    assert accurate == sorted(accurate, reverse=True), "accuracy must not increase with a stricter bar"
+
+
+def test_ablation_history_weeks(benchmark, four_region_fleet):
+    """Predictable-server share vs. the required weeks of correct history."""
+    predictions, days = _fleet_predictions(four_region_fleet)
+    module = AccuracyEvaluationModule()
+    evaluations = module.evaluate(four_region_fleet, predictions, days)
+
+    def run():
+        rows = []
+        for weeks in (1, 2, 3):
+            summary = module.summarize(evaluations, required_days=weeks)
+            rows.append([weeks, summary.pct_predictable_servers])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Ablation: predictability history gate",
+        ["required weeks", "% predictable servers"],
+        rows,
+    )
+    shares = [row[1] for row in rows]
+    assert shares == sorted(shares, reverse=True), "a longer gate can only reduce the share"
+
+
+@pytest.mark.parametrize(
+    "variant",
+    ["persistent_previous_day", "persistent_previous_equivalent_day", "persistent_previous_week_average"],
+)
+def test_ablation_persistent_forecast_variant(benchmark, four_region_fleet, variant):
+    """Section 5.2: previous day covers the largest share of servers."""
+    predictions, days = _fleet_predictions(four_region_fleet, model_name=variant, limit=80)
+    module = AccuracyEvaluationModule()
+
+    def run():
+        return module.summarize(module.evaluate(four_region_fleet, predictions, days))
+
+    summary = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        f"Ablation: persistent-forecast variant = {variant}",
+        ["metric", "value"],
+        [
+            ["% windows correct", summary.pct_windows_correct],
+            ["% load accurate", summary.pct_load_accurate],
+            ["% predictable", summary.pct_predictable_servers],
+            ["servers evaluated", summary.n_servers],
+        ],
+    )
+    assert summary.pct_windows_correct > 60.0

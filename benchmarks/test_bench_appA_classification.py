@@ -1,0 +1,26 @@
+"""Appendix A.1: classification of SQL databases (Definition 10).
+
+Paper value: 19.36% of a random sample of single standard/premium SQL
+databases are stable under the one-standard-deviation rule.
+"""
+
+from bench_utils import print_table
+from repro.autoscale.classification import classify_databases
+
+
+def test_appA_sql_database_classification(benchmark, sql_fleet):
+    result = benchmark.pedantic(classify_databases, args=(sql_fleet,), rounds=1, iterations=1)
+
+    print_table(
+        "Appendix A.1: SQL database classification",
+        ["class", "paper %", "measured %"],
+        [
+            ["stable", 19.36, result.pct_stable],
+            ["unstable", 80.64, result.pct_unstable],
+        ],
+    )
+
+    # Shape: a minority of databases is stable, the rest unstable.
+    assert 5.0 < result.pct_stable < 50.0
+    assert result.pct_unstable > result.pct_stable
+    assert result.n_databases == len(sql_fleet)

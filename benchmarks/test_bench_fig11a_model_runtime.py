@@ -1,0 +1,120 @@
+"""Figure 11(a): training and inference runtime per model vs. number of servers.
+
+Paper observations (10 to 700 servers): persistent forecast needs no
+training; NimbusML (SSA) and GluonTS (feed-forward) scale roughly linearly
+from seconds to minutes; Prophet is by far the slowest and stops scaling;
+ARIMA's per-server order search is so expensive it is excluded outright.
+
+The reproduction sweeps smaller fleets (10/20/40 unstable servers) but must
+show the same ordering: PF << SSA, feed-forward << Prophet-style seasonal,
+and ARIMA slowest per server.
+"""
+
+import time
+
+import pytest
+
+from bench_utils import FIGURE11_MODELS, forecast_backup_day, print_table
+from repro.features.classification import ServerClassLabel, classify_frame
+from repro.models.arima import ArimaConfig, ArimaForecaster
+from repro.timeseries.calendar import MINUTES_PER_DAY
+
+SERVER_COUNTS = (10, 20, 40)
+BACKUP_DAY = 27
+
+
+def _target_servers(fleet, count):
+    """Prefer unstable (pattern-free) servers, topping up with others."""
+    classification = classify_frame(fleet)
+    unstable = classification.servers_with(ServerClassLabel.NO_PATTERN)
+    others = [
+        sid for sid, label in classification.labels.items()
+        if label not in (ServerClassLabel.NO_PATTERN, ServerClassLabel.SHORT_LIVED)
+    ]
+    chosen = (unstable + others)[:count]
+    return chosen
+
+
+@pytest.mark.parametrize("model_name", list(FIGURE11_MODELS))
+def test_fig11a_training_and_inference_runtime(benchmark, four_region_fleet, model_name):
+    rows = []
+
+    def sweep():
+        for count in SERVER_COUNTS:
+            servers = _target_servers(four_region_fleet, count)
+            started = time.perf_counter()
+            produced = 0
+            for server_id in servers:
+                forecast = forecast_backup_day(
+                    model_name, four_region_fleet.series(server_id), BACKUP_DAY
+                )
+                if forecast is not None:
+                    produced += 1
+            elapsed = time.perf_counter() - started
+            rows.append([FIGURE11_MODELS[model_name], count, produced, elapsed])
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        f"Figure 11(a): train+inference runtime, model {FIGURE11_MODELS[model_name]}",
+        ["model", "servers", "forecasts", "seconds"],
+        rows,
+    )
+    # Runtime must grow (weakly) with the number of servers.
+    times = [row[3] for row in rows]
+    assert times[0] <= times[-1] * 1.5 + 0.5
+
+
+def test_fig11a_model_runtime_ordering(benchmark, four_region_fleet):
+    """Persistent forecast must be the cheapest model and the seasonal
+    (Prophet stand-in) must cost more than SSA on the same servers."""
+    servers = _target_servers(four_region_fleet, 15)
+
+    def measure(model_name):
+        started = time.perf_counter()
+        for server_id in servers:
+            forecast_backup_day(model_name, four_region_fleet.series(server_id), BACKUP_DAY)
+        return time.perf_counter() - started
+
+    def sweep():
+        return {name: measure(name) for name in FIGURE11_MODELS}
+
+    timings = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "Figure 11(a): runtime ordering (15 servers)",
+        ["model", "seconds"],
+        [[FIGURE11_MODELS[name], seconds] for name, seconds in timings.items()],
+    )
+    assert timings["persistent_previous_day"] <= min(
+        timings["ssa"], timings["feedforward"], timings["seasonal_additive"]
+    )
+
+
+def test_fig11a_arima_excluded_for_cost(benchmark, four_region_fleet):
+    """ARIMA's per-server fit is orders of magnitude above persistent
+    forecast, reproducing the paper's reason for excluding it."""
+    servers = _target_servers(four_region_fleet, 2)
+
+    def measure():
+        persistent_seconds = 0.0
+        arima_seconds = 0.0
+        for server_id in servers:
+            series = four_region_fleet.series(server_id)
+            started = time.perf_counter()
+            forecast_backup_day("persistent_previous_day", series, BACKUP_DAY)
+            persistent_seconds += time.perf_counter() - started
+
+            day_start = BACKUP_DAY * MINUTES_PER_DAY
+            history = series.slice(day_start - 7 * MINUTES_PER_DAY, day_start)
+            started = time.perf_counter()
+            ArimaForecaster(ArimaConfig(max_p=2, max_d=1, max_q=2)).fit(history).predict(288)
+            arima_seconds += time.perf_counter() - started
+        return persistent_seconds, arima_seconds
+
+    persistent_seconds, arima_seconds = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_table(
+        "Figure 11(a) footnote: ARIMA exclusion (2 servers)",
+        ["model", "seconds"],
+        [["Persistent Forecast", persistent_seconds], ["ARIMA (grid search)", arima_seconds]],
+    )
+    assert arima_seconds > 10 * persistent_seconds

@@ -1,0 +1,89 @@
+"""Figure 11(b)-(d): low-load prediction accuracy per model and region.
+
+For unstable servers without a recognisable pattern the paper reports, per
+region and model: the percentage of correctly chosen LL windows (b), the
+percentage of LL windows with accurately predicted load (c), and the
+percentage of predictable servers (d).  The headline finding is that the ML
+models are *not* significantly more accurate than persistent forecast.
+"""
+
+import pytest
+
+from bench_utils import FIGURE11_MODELS, REGION_SIZES, forecast_backup_day, print_table
+from repro.features.classification import ServerClassLabel, classify_frame
+from repro.metrics.evaluation import AccuracyEvaluationModule
+
+EVALUATION_DAYS = (13, 20, 27)
+MAX_SERVERS_PER_REGION = 12
+
+
+def _unstable_servers(frame, limit):
+    classification = classify_frame(frame)
+    unstable = classification.servers_with(ServerClassLabel.NO_PATTERN)
+    return unstable[:limit]
+
+
+def _evaluate_model(frame, server_ids, model_name):
+    predictions = {}
+    days = {}
+    for server_id in server_ids:
+        series = frame.series(server_id)
+        combined = None
+        used_days = []
+        for day in EVALUATION_DAYS:
+            forecast = forecast_backup_day(model_name, series, day)
+            if forecast is None:
+                continue
+            used_days.append(day)
+            combined = forecast if combined is None else combined.concat(forecast)
+        if combined is not None:
+            predictions[server_id] = combined
+            days[server_id] = used_days
+    module = AccuracyEvaluationModule()
+    evaluations = module.evaluate(frame, predictions, days)
+    return module.summarize(evaluations)
+
+
+def test_fig11bcd_accuracy_per_model_and_region(benchmark, region_frames):
+    rows = []
+
+    def sweep():
+        for region, frame in region_frames.items():
+            servers = _unstable_servers(frame, MAX_SERVERS_PER_REGION)
+            if not servers:
+                continue
+            for model_name, display in FIGURE11_MODELS.items():
+                summary = _evaluate_model(frame, servers, model_name)
+                rows.append(
+                    [
+                        region,
+                        display,
+                        len(servers),
+                        summary.pct_windows_correct,
+                        summary.pct_load_accurate,
+                        summary.pct_predictable_servers,
+                    ]
+                )
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "Figure 11(b)-(d): accuracy on unstable servers without pattern",
+        ["region", "model", "servers", "% LL windows correct", "% load accurate", "% predictable"],
+        rows,
+    )
+
+    assert rows, "expected at least one region with unstable servers"
+
+    # Headline shape: persistent forecast's accuracy is within striking
+    # distance of the best ML model (the paper found no significant gap).
+    per_model_windows = {}
+    for row in rows:
+        per_model_windows.setdefault(row[1], []).append(row[3])
+    averages = {model: sum(values) / len(values) for model, values in per_model_windows.items()}
+    best = max(averages.values())
+    assert averages["PF"] >= best - 25.0
+
+    # Every model must choose a majority of windows correctly on average.
+    for model, average in averages.items():
+        assert average > 50.0, f"{model} chose too few LL windows correctly"

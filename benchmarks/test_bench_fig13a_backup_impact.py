@@ -1,0 +1,105 @@
+"""Figure 13(a): impact of predictive backup scheduling.
+
+Paper values over one month of production, reported per server group:
+
+* servers with predictable daily patterns -- 12.5% of backups moved from
+  default windows that collided with customer activity into correctly
+  chosen LL windows, 85.3% of default windows already corresponded to LL
+  windows by chance, only 2.1% of windows were not chosen correctly;
+* stable servers -- 99.5% of default windows already were LL windows;
+* busy servers (load over 60% of capacity) -- 7.7% of backup collisions
+  with peaks of customer activity avoided.
+
+Because daily-pattern servers are only ~0.2% of the fleet (Figure 3), the
+benchmark oversamples them (and busy servers) in a dedicated impact fleet
+so each subgroup has statistical mass; the fleet-level class mix is
+benchmarked separately in the Figure 3 benchmark.
+"""
+
+import pytest
+
+from bench_utils import print_table
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import SeagullPipeline
+from repro.features.classification import ServerClassLabel
+from repro.scheduling.backup import BackupScheduler
+from repro.scheduling.impact import BackupImpactAnalyzer
+from repro.telemetry.fleet import FleetSpec, RegionSpec, ServerClass
+from repro.telemetry.generator import WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def impact_fleet():
+    spec = FleetSpec(
+        regions=(RegionSpec(name="impact-region", n_servers=180),),
+        class_mix={
+            ServerClass.STABLE: 0.40,
+            ServerClass.DAILY: 0.25,
+            ServerClass.WEEKLY: 0.10,
+            ServerClass.UNSTABLE: 0.15,
+            ServerClass.SHORT_LIVED: 0.10,
+        },
+        weeks=4,
+        busy_fraction=0.30,
+        seed=211,
+    )
+    return WorkloadGenerator(spec).generate_fleet()
+
+
+def test_fig13a_backup_scheduling_impact(benchmark, impact_fleet):
+    pipeline = SeagullPipeline(PipelineConfig())
+    analyzer = BackupImpactAnalyzer()
+
+    def run():
+        result = pipeline.run(impact_fleet, region="impact-region", week=3)
+        scheduler = BackupScheduler()
+        metadata = {sid: impact_fleet.metadata(sid) for sid in impact_fleet.server_ids()}
+        decisions = scheduler.schedule_fleet(metadata, result.predictions, result.predictability)
+
+        daily_ids = {
+            sid for sid, features in result.features.items()
+            if features.label is ServerClassLabel.DAILY
+        }
+        daily_decisions = {sid: d for sid, d in decisions.items() if sid in daily_ids}
+
+        fleet_report = analyzer.analyze(impact_fleet, decisions, result.features)
+        daily_report = analyzer.analyze(impact_fleet, daily_decisions, result.features)
+        return result, decisions, fleet_report, daily_report
+
+    result, decisions, fleet_report, daily_report = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    assert result.succeeded
+
+    print_table(
+        "Figure 13(a): servers with predictable daily patterns",
+        ["metric", "paper", "measured"],
+        [
+            ["% backups moved to correctly chosen LL windows", 12.5, daily_report.pct_moved_to_ll_window],
+            ["% default windows already = LL window", 85.3, daily_report.pct_default_already_ll],
+            ["% windows not chosen correctly", 2.1, daily_report.pct_windows_incorrect],
+        ],
+    )
+    print_table(
+        "Figure 13(a): stable and busy servers (whole impact fleet)",
+        ["metric", "paper", "measured"],
+        [
+            ["% stable servers with default = LL window", 99.5, fleet_report.pct_stable_default_already_ll],
+            ["% busy-server collisions avoided", 7.7, fleet_report.pct_busy_collisions_avoided],
+            ["improved customer hours (one backup day)", float("nan"), fleet_report.improved_hours],
+        ],
+    )
+    moved = sum(1 for decision in decisions.values() if decision.moved)
+    print(f"\nscheduled {len(decisions)} backups, moved {moved} to predicted windows")
+
+    # Shape assertions per subgroup.
+    assert daily_report.n_servers >= 10, "need daily-pattern servers to evaluate"
+    # A minority -- but a real share -- of daily-pattern backups moves into a
+    # better window; most defaults are already fine; few windows are wrong.
+    assert 0.0 < daily_report.pct_moved_to_ll_window < 60.0
+    assert daily_report.pct_default_already_ll > 40.0
+    assert daily_report.pct_windows_incorrect < 15.0
+    # Almost every stable server's default window is already a lowest-load window.
+    assert fleet_report.pct_stable_default_already_ll > 90.0
+    # Moving backups yields measurable hours of improved customer experience.
+    assert fleet_report.improved_hours > 0.0

@@ -1,0 +1,59 @@
+"""Figures 16 and 17: model accuracy and runtime for the auto-scale use case.
+
+Figure 16 reports Mean NRMSE and MASE per model for 24-hour-ahead forecasts
+of SQL database CPU load; Figure 17 reports training and inference runtime.
+The paper's conclusion: persistent forecast again finds the middle ground
+between accuracy and computational overhead (GluonTS/ARIMA train far
+longer without a decisive accuracy win).
+"""
+
+from bench_utils import print_table
+from repro.autoscale.predictor import AutoscalePredictor
+from repro.models.registry import MODEL_DISPLAY_NAMES
+
+MODELS = ("persistent_previous_day", "ssa", "feedforward", "seasonal_additive")
+N_DATABASES = 20
+
+
+def test_fig16_17_autoscale_model_comparison(benchmark, sql_fleet):
+    subset = sql_fleet.select(sql_fleet.server_ids()[:N_DATABASES])
+    predictor = AutoscalePredictor(training_days=7)
+
+    def run():
+        return predictor.evaluate_fleet(subset, model_names=MODELS)
+
+    evaluation = benchmark.pedantic(run, rounds=1, iterations=1)
+    scores = {score.model_name: score for score in evaluation.scores()}
+
+    print_table(
+        "Figure 16: model accuracy (SQL databases, 24h ahead)",
+        ["model", "mean NRMSE", "mean MASE", "databases"],
+        [
+            [MODEL_DISPLAY_NAMES[name], scores[name].mean_nrmse, scores[name].mean_mase,
+             scores[name].n_databases]
+            for name in MODELS
+        ],
+    )
+    print_table(
+        "Figure 17: training and inference runtime (seconds)",
+        ["model", "training", "inference"],
+        [
+            [MODEL_DISPLAY_NAMES[name], scores[name].total_fit_seconds,
+             scores[name].total_inference_seconds]
+            for name in MODELS
+        ],
+    )
+
+    persistent = scores["persistent_previous_day"]
+    neural = scores["feedforward"]
+
+    # Shape assertions:
+    # 1. Persistent forecast trains in negligible time; the neural model does not.
+    assert persistent.total_fit_seconds < 0.5
+    assert neural.total_fit_seconds > persistent.total_fit_seconds
+    # 2. Persistent forecast's accuracy is competitive: not dramatically worse
+    #    than the best model (no decisive win for the expensive models).
+    best_nrmse = min(score.mean_nrmse for score in scores.values())
+    assert persistent.mean_nrmse <= best_nrmse * 2.0 + 0.1
+    # 3. Every model produced forecasts for every database it was given.
+    assert all(score.n_databases > 0 for score in scores.values())

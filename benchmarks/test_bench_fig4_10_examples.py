@@ -1,0 +1,126 @@
+"""Figures 2 and 4-10: the per-server metric examples.
+
+These figures are illustrative single-server plots in the paper; the
+benchmark reproduces the quantities printed in their captions (bucket
+ratios per class, the orthogonality of the two low-load metrics) and times
+the metric computations themselves.
+"""
+
+import numpy as np
+
+from bench_utils import print_table
+from repro.features.patterns import day_over_day_bucket_ratio
+from repro.features.stability import stability_bucket_ratio
+from repro.metrics.bucket_ratio import bucket_ratio, is_accurate_prediction
+from repro.metrics.ll_window import is_window_correctly_chosen, lowest_load_window
+from repro.telemetry.fleet import ServerClass, default_fleet_spec
+from repro.telemetry.generator import WorkloadGenerator
+from repro.timeseries.series import LoadSeries
+
+
+def _example_servers():
+    spec = default_fleet_spec(servers_per_region=(1,), weeks=4, seed=77)
+    generator = WorkloadGenerator(spec)
+    return {
+        cls: generator.generate_server(f"fig-{cls.value}", "region-0", cls).series
+        for cls in (ServerClass.STABLE, ServerClass.DAILY, ServerClass.WEEKLY, ServerClass.UNSTABLE)
+    }
+
+
+def test_fig4_7_pattern_bucket_ratios(benchmark):
+    servers = _example_servers()
+
+    def compute():
+        rows = []
+        for cls, series in servers.items():
+            rows.append(
+                [
+                    cls.value,
+                    stability_bucket_ratio(series) * 100,
+                    day_over_day_bucket_ratio(series, 27, 1) * 100,
+                    day_over_day_bucket_ratio(series, 27, 7) * 100,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "Figures 4-7: bucket ratios per example server (%)",
+        ["server class", "vs weekly mean", "vs previous day", "vs prev. equivalent day"],
+        rows,
+    )
+    by_class = {row[0]: row for row in rows}
+    # Figure 4: stable server's mean predicts it (ratio ~99%).
+    assert by_class["stable"][1] > 90.0
+    # Figure 5: daily server predicted by previous day.
+    assert by_class["daily"][2] > 90.0
+    # Figure 6: weekly server predicted by previous equivalent day but not by
+    # the previous day as strongly.
+    assert by_class["weekly"][3] > 90.0
+    # Figure 7: pattern-free server predicted by neither.
+    assert by_class["unstable"][2] < 90.0 or by_class["unstable"][3] < 90.0
+
+
+def test_fig2_8_9_10_low_load_metric_cases(benchmark):
+    points = 288
+
+    def compute():
+        results = {}
+
+        # Figure 2: a prediction with 75% of points in bound is inaccurate.
+        true = np.full(points, 50.0)
+        predicted = true.copy()
+        predicted[::4] = 40.0
+        results["fig2_ratio"] = bucket_ratio(predicted, true)
+        results["fig2_accurate"] = is_accurate_prediction(predicted, true)
+
+        # Figure 8: non-overlapping windows with similar true load -> correct.
+        truth_values = np.full(points, 50.0)
+        truth_values[100:112] = 5.0
+        truth_values[200:212] = 7.0
+        truth = LoadSeries.from_values(truth_values)
+        pred_values = np.full(points, 50.0)
+        pred_values[200:212] = 4.0
+        results["fig8_correct"] = is_window_correctly_chosen(
+            LoadSeries.from_values(pred_values), truth, 0, 60
+        )
+
+        # Figure 9: load accurate in the predicted window, but a much lower
+        # true window exists -> incorrectly chosen.
+        truth_values = np.full(points, 50.0)
+        truth_values[100:112] = 2.0
+        truth = LoadSeries.from_values(truth_values)
+        pred_values = np.full(points, 50.0)
+        pred_values[250:262] = 48.0
+        predicted_series = LoadSeries.from_values(pred_values)
+        results["fig9_correct"] = is_window_correctly_chosen(predicted_series, truth, 0, 60)
+        window = lowest_load_window(predicted_series, 0, 60)
+        results["fig9_ratio_in_window"] = bucket_ratio(
+            predicted_series.slice(window.start, window.end),
+            truth.slice(window.start, window.end),
+        )
+
+        # Figure 10: windows coincide but the load level is far off -> window
+        # correct, load inaccurate.
+        truth_values = np.full(points, 80.0)
+        truth_values[100:112] = 40.0
+        truth = LoadSeries.from_values(truth_values)
+        predicted_series = LoadSeries.from_values(np.where(truth_values == 40.0, 5.0, 60.0))
+        results["fig10_correct"] = is_window_correctly_chosen(predicted_series, truth, 0, 60)
+        window = lowest_load_window(predicted_series, 0, 60)
+        results["fig10_accurate"] = is_accurate_prediction(
+            predicted_series.slice(window.start, window.end),
+            truth.slice(window.start, window.end),
+        )
+        return results
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "Figures 2, 8-10: low-load metric cases",
+        ["case", "value"],
+        [[key, str(value)] for key, value in results.items()],
+    )
+    assert results["fig2_ratio"] == 0.75 and not results["fig2_accurate"]
+    assert results["fig8_correct"]
+    assert not results["fig9_correct"] and results["fig9_ratio_in_window"] >= 0.9
+    assert results["fig10_correct"] and not results["fig10_accurate"]

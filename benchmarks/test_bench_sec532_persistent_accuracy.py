@@ -1,0 +1,56 @@
+"""Section 5.3.2: persistent forecast on stable servers and servers with a pattern.
+
+Paper values: persistent forecast correctly selected 99.83% of LL windows,
+accurately predicted the load during 99.06% of all windows, and classified
+96.92% of these servers as predictable.
+"""
+
+from bench_utils import forecast_backup_day, print_table
+from repro.features.classification import ServerClassLabel, classify_frame
+from repro.metrics.evaluation import AccuracyEvaluationModule
+
+EVALUATION_DAYS = (13, 20, 27)
+
+
+def test_sec532_persistent_forecast_on_predictable_classes(benchmark, four_region_fleet):
+    classification = classify_frame(four_region_fleet)
+    predictable_ids = [
+        sid
+        for sid, label in classification.labels.items()
+        if label in (ServerClassLabel.STABLE, ServerClassLabel.DAILY, ServerClassLabel.WEEKLY)
+    ]
+
+    def run():
+        predictions = {}
+        days = {}
+        for server_id in predictable_ids:
+            series = four_region_fleet.series(server_id)
+            combined = None
+            used = []
+            for day in EVALUATION_DAYS:
+                forecast = forecast_backup_day("persistent_previous_day", series, day)
+                if forecast is None:
+                    continue
+                used.append(day)
+                combined = forecast if combined is None else combined.concat(forecast)
+            if combined is not None:
+                predictions[server_id] = combined
+                days[server_id] = used
+        module = AccuracyEvaluationModule()
+        evaluations = module.evaluate(four_region_fleet, predictions, days)
+        return module.summarize(evaluations)
+
+    summary = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Section 5.3.2: persistent forecast on stable/pattern servers",
+        ["metric", "paper", "measured"],
+        [
+            ["% LL windows chosen correctly", 99.83, summary.pct_windows_correct],
+            ["% windows with accurate load", 99.06, summary.pct_load_accurate],
+            ["% predictable servers", 96.92, summary.pct_predictable_servers],
+        ],
+    )
+    # Shape: near-perfect accuracy on the easy classes.
+    assert summary.pct_windows_correct > 95.0
+    assert summary.pct_load_accurate > 90.0
+    assert summary.pct_predictable_servers > 80.0

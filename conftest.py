@@ -1,0 +1,13 @@
+"""Test-session bootstrap.
+
+Makes the ``repro`` package importable directly from ``src/`` so the test
+and benchmark suites run even when the editable install is unavailable
+(for example in fully offline environments).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,93 @@
+"""Server activity patterns and the low-load metrics (Figures 2 and 4-10).
+
+Reproduces, as printed ASCII summaries, the per-server examples the paper
+uses to motivate its metrics: a stable server, a server with a daily
+pattern, a server with a weekly pattern, a server without any pattern, and
+the correctly/incorrectly chosen lowest-load window cases.
+
+Run with:  python examples/server_patterns.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np
+
+from repro.features.patterns import day_over_day_bucket_ratio
+from repro.features.stability import stability_bucket_ratio
+from repro.metrics.bucket_ratio import bucket_ratio, is_accurate_prediction
+from repro.metrics.ll_window import is_window_correctly_chosen, lowest_load_window
+from repro.telemetry.fleet import ServerClass, default_fleet_spec
+from repro.telemetry.generator import WorkloadGenerator
+from repro.timeseries.calendar import MINUTES_PER_DAY
+
+
+def sparkline(values: np.ndarray, width: int = 72) -> str:
+    """Render a coarse ASCII sparkline of one day of load."""
+    blocks = " .:-=+*#%@"
+    resampled = np.interp(
+        np.linspace(0, len(values) - 1, width), np.arange(len(values)), values
+    )
+    scale = (len(blocks) - 1) / max(resampled.max(), 1e-9)
+    return "".join(blocks[int(round(v * scale))] for v in resampled)
+
+
+def describe(name: str, series, reference_day: int = 27) -> None:
+    day = series.day(reference_day)
+    if day.is_empty:
+        day = series.day(series.days()[-1])
+    print(f"\n--- {name} ---")
+    print(f"  last day   |{sparkline(day.values)}|")
+    print(f"  stability bucket ratio      : {stability_bucket_ratio(series):6.2%}")
+    daily = day_over_day_bucket_ratio(series, reference_day, 1)
+    weekly = day_over_day_bucket_ratio(series, reference_day, 7)
+    print(f"  vs previous day (Def. 5)    : {daily:6.2%}" if not np.isnan(daily) else
+          "  vs previous day (Def. 5)    :   n/a")
+    print(f"  vs previous eq. day (Def. 6): {weekly:6.2%}" if not np.isnan(weekly) else
+          "  vs previous eq. day (Def. 6):   n/a")
+
+
+def main() -> None:
+    spec = default_fleet_spec(servers_per_region=(1,), weeks=4, seed=77)
+    generator = WorkloadGenerator(spec)
+
+    samples = {
+        "Stable server (Figure 4)": ServerClass.STABLE,
+        "Server with daily pattern (Figure 5)": ServerClass.DAILY,
+        "Server with weekly pattern (Figure 6)": ServerClass.WEEKLY,
+        "Server without pattern (Figure 7)": ServerClass.UNSTABLE,
+    }
+    generated = {}
+    for label, cls in samples.items():
+        generated[label] = generator.generate_server(f"example-{cls.value}", "region-0", cls)
+        describe(label, generated[label].series)
+
+    # ---- Figure 2: an "almost right" prediction that fails the 90% bar ----
+    truth = generated["Stable server (Figure 4)"].series.day(27)
+    predicted = truth.with_values(truth.values - np.where(np.arange(len(truth)) % 4 == 0, 8.0, 0.0))
+    ratio = bucket_ratio(predicted, truth)
+    print("\n--- Acceptable error bound (Figure 2) ---")
+    print(f"  bucket ratio {ratio:.2%} -> accurate: {is_accurate_prediction(predicted, truth)}")
+
+    # ---- Figures 8-10: LL-window cases -------------------------------------
+    daily_series = generated["Server with daily pattern (Figure 5)"].series
+    day = 27
+    duration = 60
+    true_window = lowest_load_window(daily_series, day, duration)
+    prev_day_forecast = daily_series.day(day - 1).shift(MINUTES_PER_DAY)
+    predicted_window = lowest_load_window(prev_day_forecast, day, duration)
+    correct = is_window_correctly_chosen(prev_day_forecast, daily_series, day, duration)
+    print("\n--- Lowest-load windows (Figures 8-10) ---")
+    print(f"  true LL window      : starts at minute {true_window.start % MINUTES_PER_DAY:4d}, "
+          f"avg load {true_window.average_load:5.1f}%")
+    print(f"  predicted LL window : starts at minute {predicted_window.start % MINUTES_PER_DAY:4d}, "
+          f"avg load {predicted_window.average_load:5.1f}%")
+    print(f"  correctly chosen (Def. 8): {correct}")
+
+
+if __name__ == "__main__":
+    main()

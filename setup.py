@@ -1,0 +1,21 @@
+"""Legacy setuptools entry point.
+
+Kept so ``pip install -e .`` works in offline environments where PEP-517
+build isolation cannot download a build backend.  All project metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of Seagull: load prediction and optimized resource "
+        "allocation (VLDB 2020)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+)

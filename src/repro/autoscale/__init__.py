@@ -1,0 +1,30 @@
+"""Preemptive auto-scale of SQL databases (Appendix A).
+
+The second Seagull use case predicts the CPU load of single SQL databases
+24 hours ahead (15-minute granularity) and uses standard error metrics
+(Mean NRMSE, MASE) instead of the lowest-load-window metrics:
+
+* :mod:`~repro.autoscale.classification` -- stable vs. unstable databases
+  under the standard-deviation rule (Definition 10).
+* :mod:`~repro.autoscale.predictor` -- per-database 24-hour forecasts per
+  model, with training/inference timing and the Appendix A error metrics
+  (Figures 16 and 17).
+* :mod:`~repro.autoscale.policy` -- a preemptive scaling policy that turns
+  the forecasts into scale-up/scale-down recommendations, plus the
+  capacity-headroom analysis behind Figure 13(b).
+"""
+
+from repro.autoscale.classification import DatabaseClassification, classify_databases
+from repro.autoscale.policy import AutoscalePolicy, ScaleAction, ScaleRecommendation
+from repro.autoscale.predictor import AutoscaleEvaluation, AutoscalePredictor, ModelScore
+
+__all__ = [
+    "classify_databases",
+    "DatabaseClassification",
+    "AutoscalePredictor",
+    "AutoscaleEvaluation",
+    "ModelScore",
+    "AutoscalePolicy",
+    "ScaleAction",
+    "ScaleRecommendation",
+]

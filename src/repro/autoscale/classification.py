@@ -1,0 +1,63 @@
+"""SQL database classification for the auto-scale use case (Appendix A.1).
+
+Definition 10: a database is *stable* when its variation does not exceed
+one standard deviation over the last three days of the evaluated period;
+otherwise it is unstable.  The paper reports 19.36% of sampled databases as
+stable under this rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.features.stability import is_stable_database
+from repro.timeseries.frame import LoadFrame
+
+
+@dataclass(frozen=True)
+class DatabaseClassification:
+    """Stable/unstable split of a database fleet."""
+
+    stable_ids: tuple[str, ...]
+    unstable_ids: tuple[str, ...]
+
+    @property
+    def n_databases(self) -> int:
+        return len(self.stable_ids) + len(self.unstable_ids)
+
+    @property
+    def pct_stable(self) -> float:
+        if self.n_databases == 0:
+            return float("nan")
+        return 100.0 * len(self.stable_ids) / self.n_databases
+
+    @property
+    def pct_unstable(self) -> float:
+        if self.n_databases == 0:
+            return float("nan")
+        return 100.0 * len(self.unstable_ids) / self.n_databases
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "n_databases": self.n_databases,
+            "n_stable": len(self.stable_ids),
+            "n_unstable": len(self.unstable_ids),
+            "pct_stable": self.pct_stable,
+            "pct_unstable": self.pct_unstable,
+        }
+
+
+def classify_databases(
+    frame: LoadFrame,
+    evaluation_days: int = 3,
+    n_std: float = 1.0,
+) -> DatabaseClassification:
+    """Split a database fleet into stable and unstable per Definition 10."""
+    stable: list[str] = []
+    unstable: list[str] = []
+    for server_id, _, series in frame.items():
+        if is_stable_database(series, evaluation_days=evaluation_days, n_std=n_std):
+            stable.append(server_id)
+        else:
+            unstable.append(server_id)
+    return DatabaseClassification(stable_ids=tuple(stable), unstable_ids=tuple(unstable))

@@ -1,0 +1,110 @@
+"""Scoring endpoints (Section 2.2).
+
+The production pipeline deploys each trained model behind a REST endpoint
+and performs inference against it.  :class:`ScoringEndpoint` reproduces
+that boundary in-process: it owns the fitted per-server forecasters of one
+model version and serves per-server predictions, keeping simple request
+statistics the dashboard can display.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.models.base import Forecaster
+from repro.timeseries.series import LoadSeries
+
+
+class EndpointError(RuntimeError):
+    """Raised when a prediction is requested for an unknown server."""
+
+
+class ScoringEndpoint:
+    """Serves predictions from the fitted forecasters of one model version."""
+
+    def __init__(
+        self,
+        region: str,
+        model_name: str,
+        version: int,
+        forecasters: Mapping[str, Forecaster],
+    ) -> None:
+        self._region = region
+        self._model_name = model_name
+        self._version = version
+        self._forecasters = dict(forecasters)
+        self._requests = 0
+        self._failures = 0
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def region(self) -> str:
+        return self._region
+
+    @property
+    def model_name(self) -> str:
+        return self._model_name
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    @property
+    def request_count(self) -> int:
+        """Number of prediction requests served (successful or not)."""
+        return self._requests
+
+    @property
+    def failure_count(self) -> int:
+        """Number of prediction requests that failed."""
+        return self._failures
+
+    def servers(self) -> list[str]:
+        """Server ids this endpoint can score."""
+        return sorted(self._forecasters)
+
+    def can_score(self, server_id: str) -> bool:
+        return server_id in self._forecasters
+
+    # ------------------------------------------------------------------ #
+
+    def predict(self, server_id: str, n_points: int) -> LoadSeries:
+        """Predict ``n_points`` of load for ``server_id``.
+
+        Raises :class:`EndpointError` when the server has no fitted model
+        (short-lived servers and servers that failed training are not
+        deployed).
+        """
+        self._requests += 1
+        forecaster = self._forecasters.get(server_id)
+        if forecaster is None:
+            self._failures += 1
+            raise EndpointError(
+                f"endpoint {self._region} v{self._version} has no model for {server_id!r}"
+            )
+        try:
+            return forecaster.predict(n_points)
+        except Exception:
+            self._failures += 1
+            raise
+
+    def predict_many(self, server_ids: list[str], n_points: int) -> dict[str, LoadSeries]:
+        """Predict for several servers, skipping the ones that cannot be scored."""
+        predictions: dict[str, LoadSeries] = {}
+        for server_id in server_ids:
+            if not self.can_score(server_id):
+                continue
+            predictions[server_id] = self.predict(server_id, n_points)
+        return predictions
+
+    def health(self) -> dict[str, object]:
+        """Health summary shown on the dashboard."""
+        return {
+            "region": self._region,
+            "model_name": self._model_name,
+            "version": self._version,
+            "n_servers": len(self._forecasters),
+            "requests": self._requests,
+            "failures": self._failures,
+        }

@@ -1,0 +1,392 @@
+"""The Seagull pipeline (Figure 1's use-case-agnostic offline components).
+
+One run of the pipeline processes one weekly extract of one region:
+
+1. **Data ingestion** -- read the extract (from the data lake or a frame).
+2. **Data validation** -- schema/bound anomaly detection; invalid extracts
+   raise a critical incident and abort the run.
+3. **Feature extraction** -- per-server features and classification.
+4. **Model training** -- fit the configured forecaster per server on the
+   training window preceding each prediction day.
+5. **Model deployment** -- register the new model version and expose it
+   behind a scoring endpoint.
+6. **Inference** -- predict the load of each server's upcoming backup day,
+   plus the backup days of the preceding ``history_weeks`` weeks used for
+   predictability.
+7. **Accuracy evaluation** -- evaluate the historical predictions with the
+   lowest-load-window and bucket-ratio metrics, optionally in parallel per
+   server, and derive predictability verdicts (Definition 9).
+
+Component runtimes are recorded per run, which is exactly the data behind
+Figure 12(a).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+
+from repro.core.config import PipelineConfig
+from repro.core.dashboard import Dashboard
+from repro.core.endpoints import ScoringEndpoint
+from repro.core.incidents import IncidentManager, IncidentSeverity
+from repro.core.registry import DeploymentError, ModelRecord, ModelRegistry
+from repro.features.classification import ClassificationResult, ServerClassLabel, classify_frame
+from repro.features.extractor import FeatureExtractionModule, ServerFeatures
+from repro.metrics.evaluation import (
+    AccuracyEvaluationModule,
+    EvaluationSummary,
+    ServerDayEvaluation,
+)
+from repro.metrics.predictable import PredictabilityVerdict
+from repro.models.base import ForecastError, Forecaster
+from repro.models.registry import create_forecaster
+from repro.parallel.executor import PartitionedExecutor
+from repro.storage.datalake import DataLakeStore, ExtractKey
+from repro.storage.documentdb import DocumentStore
+from repro.timeseries.calendar import MINUTES_PER_DAY, day_index, points_per_day
+from repro.timeseries.frame import LoadFrame
+from repro.timeseries.series import LoadSeries
+from repro.validation.validator import DataValidationModule, ValidationReport
+
+#: Names and canonical order of the timed pipeline components (Figure 12(a)).
+PIPELINE_COMPONENTS = (
+    "data_ingestion",
+    "data_validation",
+    "feature_extraction",
+    "model_training",
+    "model_deployment",
+    "inference",
+    "accuracy_evaluation",
+)
+
+
+@dataclass
+class PipelineRunResult:
+    """Everything one pipeline run produced."""
+
+    run_id: str
+    region: str
+    week: int
+    config: PipelineConfig
+    succeeded: bool = False
+    abort_reason: str = ""
+    validation: ValidationReport | None = None
+    classification: ClassificationResult | None = None
+    features: dict[str, ServerFeatures] = field(default_factory=dict)
+    predictions: dict[str, LoadSeries] = field(default_factory=dict)
+    backup_days: dict[str, int] = field(default_factory=dict)
+    evaluations: list[ServerDayEvaluation] = field(default_factory=list)
+    summary: EvaluationSummary | None = None
+    predictability: dict[str, PredictabilityVerdict] = field(default_factory=dict)
+    model_record: ModelRecord | None = None
+    endpoint: ScoringEndpoint | None = None
+    timings: dict[str, float] = field(default_factory=dict)
+    fell_back: bool = False
+
+    def timing(self, component: str) -> float:
+        """Runtime of one component in seconds (0.0 if it did not run)."""
+        return self.timings.get(component, 0.0)
+
+    def total_runtime(self) -> float:
+        """Total runtime across all timed components."""
+        return sum(self.timings.values())
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "run_id": self.run_id,
+            "region": self.region,
+            "week": self.week,
+            "succeeded": self.succeeded,
+            "abort_reason": self.abort_reason,
+            "timings": dict(self.timings),
+            "summary": self.summary.as_dict() if self.summary is not None else None,
+            "n_predictions": len(self.predictions),
+            "n_predictable": sum(1 for v in self.predictability.values() if v.predictable),
+            "fell_back": self.fell_back,
+        }
+
+
+class SeagullPipeline:
+    """Orchestrates one region-week run of the Seagull offline components."""
+
+    _run_counter = itertools.count(1)
+
+    def __init__(
+        self,
+        config: PipelineConfig | None = None,
+        data_lake: DataLakeStore | None = None,
+        document_store: DocumentStore | None = None,
+        model_registry: ModelRegistry | None = None,
+        incident_manager: IncidentManager | None = None,
+        dashboard: Dashboard | None = None,
+    ) -> None:
+        self._config = config if config is not None else PipelineConfig()
+        self._lake = data_lake
+        self._store = document_store
+        self._registry = (
+            model_registry
+            if model_registry is not None
+            else ModelRegistry(document_store, self._config.models_container)
+        )
+        self._incidents = incident_manager if incident_manager is not None else IncidentManager()
+        self._dashboard = dashboard if dashboard is not None else Dashboard()
+        # Data properties are deduced per region (Section 2.4): region sizes
+        # and load distributions differ, so each region gets its own
+        # validation module bootstrapped from its first extract.
+        self._validators: dict[str, DataValidationModule] = {}
+        self._feature_extractor = FeatureExtractionModule(
+            bound=self._config.error_bound,
+            accuracy_threshold=self._config.accuracy_threshold,
+        )
+        executor = PartitionedExecutor(self._config.executor_backend, self._config.n_workers)
+        self._evaluator = AccuracyEvaluationModule(
+            bound=self._config.error_bound,
+            accuracy_threshold=self._config.accuracy_threshold,
+            executor=executor,
+        )
+        if self._store is not None:
+            self._store.create_container(self._config.results_container)
+
+    # ------------------------------------------------------------------ #
+    # Public accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def config(self) -> PipelineConfig:
+        return self._config
+
+    @property
+    def registry(self) -> ModelRegistry:
+        return self._registry
+
+    @property
+    def incidents(self) -> IncidentManager:
+        return self._incidents
+
+    @property
+    def dashboard(self) -> Dashboard:
+        return self._dashboard
+
+    # ------------------------------------------------------------------ #
+    # Entry points
+    # ------------------------------------------------------------------ #
+
+    def run_from_lake(self, region: str, week: int) -> PipelineRunResult:
+        """Ingest the region/week extract from the data lake and run."""
+        run_id = self._next_run_id(region, week)
+        result = PipelineRunResult(run_id=run_id, region=region, week=week, config=self._config)
+        if self._lake is None:
+            raise DeploymentError("pipeline was constructed without a data lake")
+        started = time.perf_counter()
+        try:
+            frame = self._lake.read_extract(
+                ExtractKey(region=region, week=week), self._config.interval_minutes
+            )
+        except KeyError:
+            self._incidents.raise_incident(
+                IncidentSeverity.CRITICAL,
+                source="data_ingestion",
+                message=f"missing input extract for {region} week {week}",
+                region=region,
+            )
+            result.abort_reason = "missing input data"
+            result.timings["data_ingestion"] = time.perf_counter() - started
+            self._emit_summary(result)
+            return result
+        result.timings["data_ingestion"] = time.perf_counter() - started
+        return self._run_internal(frame, result)
+
+    def run(self, frame: LoadFrame, region: str, week: int) -> PipelineRunResult:
+        """Run the pipeline on an already-ingested frame."""
+        run_id = self._next_run_id(region, week)
+        result = PipelineRunResult(run_id=run_id, region=region, week=week, config=self._config)
+        started = time.perf_counter()
+        # Ingestion cost for a pre-loaded frame is counting its rows, which
+        # mirrors the cheap manifest check production ingestion performs.
+        _ = frame.total_points()
+        result.timings["data_ingestion"] = time.perf_counter() - started
+        return self._run_internal(frame, result)
+
+    # ------------------------------------------------------------------ #
+    # Orchestration
+    # ------------------------------------------------------------------ #
+
+    def _run_internal(self, frame: LoadFrame, result: PipelineRunResult) -> PipelineRunResult:
+        region = result.region
+        config = self._config
+
+        # -------------------- Data validation -------------------------- #
+        started = time.perf_counter()
+        validator = self._validators.setdefault(region, DataValidationModule())
+        validation = validator.validate(frame)
+        result.timings["data_validation"] = time.perf_counter() - started
+        result.validation = validation
+        if not validation.passed:
+            self._incidents.raise_incident(
+                IncidentSeverity.CRITICAL,
+                source="data_validation",
+                message=f"{len(validation.errors)} validation errors in {region}",
+                region=region,
+            )
+            result.abort_reason = "invalid input data"
+            self._emit_summary(result)
+            return result
+
+        # -------------------- Feature extraction ----------------------- #
+        started = time.perf_counter()
+        result.features = self._feature_extractor.extract_frame(frame)
+        result.classification = ClassificationResult(
+            labels={server_id: features.label for server_id, features in result.features.items()}
+        )
+        result.timings["feature_extraction"] = time.perf_counter() - started
+
+        # -------------------- Training and inference ------------------- #
+        points_day = points_per_day(config.interval_minutes)
+        training_minutes = config.training_days * MINUTES_PER_DAY
+        min_history_minutes = config.min_history_days * MINUTES_PER_DAY
+
+        training_seconds = 0.0
+        inference_seconds = 0.0
+        deployed_forecasters: dict[str, Forecaster] = {}
+        eval_predictions: dict[str, LoadSeries] = {}
+        eval_days: dict[str, list[int]] = {}
+
+        for server_id, metadata, series in frame.items():
+            label = result.features[server_id].label
+            if label is ServerClassLabel.SHORT_LIVED or series.is_empty:
+                continue
+            backup_day = day_index(metadata.default_backup_start)
+            result.backup_days[server_id] = backup_day
+
+            # Days whose predictions feed the predictability check: the same
+            # weekday in each of the preceding history_weeks weeks.
+            history_days = [
+                backup_day - 7 * offset for offset in range(1, config.history_weeks + 1)
+            ]
+            server_days: list[int] = []
+            combined_prediction: LoadSeries | None = None
+            for day in sorted(history_days) + [backup_day]:
+                day_start = day * MINUTES_PER_DAY
+                history = series.slice(day_start - training_minutes, day_start)
+                if history.is_empty or history.span_minutes < min_history_minutes:
+                    continue
+                forecaster = create_forecaster(config.model_name)
+                try:
+                    train_started = time.perf_counter()
+                    forecaster.fit(history)
+                    training_seconds += time.perf_counter() - train_started
+
+                    infer_started = time.perf_counter()
+                    prediction = forecaster.predict(points_day * config.horizon_days)
+                    inference_seconds += time.perf_counter() - infer_started
+                except ForecastError:
+                    continue
+                if day == backup_day:
+                    deployed_forecasters[server_id] = forecaster
+                    result.predictions[server_id] = prediction
+                else:
+                    server_days.append(day)
+                if combined_prediction is None:
+                    combined_prediction = prediction
+                else:
+                    combined_prediction = combined_prediction.concat(prediction)
+            if combined_prediction is not None and server_days:
+                eval_predictions[server_id] = combined_prediction
+                eval_days[server_id] = server_days
+
+        result.timings["model_training"] = training_seconds
+        result.timings["inference"] = inference_seconds
+
+        # -------------------- Model deployment ------------------------- #
+        started = time.perf_counter()
+        record = self._registry.deploy(
+            region=region,
+            model_name=config.model_name,
+            trained_week=result.week,
+            notes=f"run {result.run_id}",
+        )
+        endpoint = ScoringEndpoint(
+            region=region,
+            model_name=config.model_name,
+            version=record.version,
+            forecasters=deployed_forecasters,
+        )
+        result.model_record = record
+        result.endpoint = endpoint
+        result.timings["model_deployment"] = time.perf_counter() - started
+
+        # -------------------- Accuracy evaluation ---------------------- #
+        started = time.perf_counter()
+        result.evaluations = self._evaluator.evaluate(frame, eval_predictions, eval_days)
+        result.summary = self._evaluator.summarize(
+            result.evaluations, required_days=config.history_weeks
+        )
+        result.predictability = self._evaluator.predictability(
+            frame, eval_predictions, eval_days, required_days=config.history_weeks
+        )
+        result.timings["accuracy_evaluation"] = time.perf_counter() - started
+
+        # -------------------- Accuracy tracking and fallback ----------- #
+        accuracy = result.summary.pct_windows_correct if result.summary else float("nan")
+        try:
+            result.model_record = self._registry.record_accuracy(region, record.version, accuracy)
+        except DeploymentError:
+            pass
+        if (
+            config.fallback_on_regression
+            and accuracy == accuracy  # not NaN
+            and accuracy < config.fallback_threshold_pct
+        ):
+            try:
+                fallback_record = self._registry.fallback(region)
+                result.fell_back = True
+                result.model_record = fallback_record
+                self._incidents.raise_incident(
+                    IncidentSeverity.WARNING,
+                    source="accuracy_evaluation",
+                    message=(
+                        f"accuracy {accuracy:.1f}% below threshold "
+                        f"{config.fallback_threshold_pct:.1f}%, fell back to "
+                        f"version {fallback_record.version}"
+                    ),
+                    region=region,
+                )
+            except DeploymentError:
+                self._incidents.raise_incident(
+                    IncidentSeverity.WARNING,
+                    source="accuracy_evaluation",
+                    message=(
+                        f"accuracy {accuracy:.1f}% below threshold but no known-good "
+                        "prior version exists"
+                    ),
+                    region=region,
+                )
+
+        result.succeeded = True
+        self._persist(result)
+        self._emit_summary(result)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+
+    def _next_run_id(self, region: str, week: int) -> str:
+        return f"run-{next(self._run_counter):05d}-{region}-w{week}"
+
+    def _persist(self, result: PipelineRunResult) -> None:
+        if self._store is None:
+            return
+        self._store.upsert(self._config.results_container, result.run_id, result.as_dict())
+
+    def _emit_summary(self, result: PipelineRunResult) -> None:
+        for component, seconds in result.timings.items():
+            self._dashboard.record(
+                result.run_id,
+                result.region,
+                "component_timing",
+                {"component": component, "seconds": seconds},
+            )
+        self._dashboard.record(result.run_id, result.region, "run_summary", result.as_dict())

@@ -1,0 +1,38 @@
+"""Feature extraction and server classification (Sections 2.2 and 3.2).
+
+* :mod:`~repro.features.lifespan` -- short-lived vs. long-lived servers
+  (Definition 3).
+* :mod:`~repro.features.stability` -- stable servers (Definition 4).
+* :mod:`~repro.features.patterns` -- daily and weekly patterns
+  (Definitions 5 and 6).
+* :mod:`~repro.features.classification` -- the full classifier behind
+  Figure 3, assigning every server to exactly one class.
+* :mod:`~repro.features.extractor` -- the pipeline's Feature Extraction
+  Module, producing a feature record per server.
+"""
+
+from repro.features.classification import (
+    ClassificationResult,
+    ServerClassLabel,
+    classify_frame,
+    classify_server,
+)
+from repro.features.extractor import FeatureExtractionModule, ServerFeatures
+from repro.features.lifespan import DEFAULT_LIFESPAN_THRESHOLD_DAYS, is_long_lived, lifespan_days
+from repro.features.patterns import has_daily_pattern, has_weekly_pattern
+from repro.features.stability import is_stable
+
+__all__ = [
+    "lifespan_days",
+    "is_long_lived",
+    "DEFAULT_LIFESPAN_THRESHOLD_DAYS",
+    "is_stable",
+    "has_daily_pattern",
+    "has_weekly_pattern",
+    "ServerClassLabel",
+    "ClassificationResult",
+    "classify_server",
+    "classify_frame",
+    "FeatureExtractionModule",
+    "ServerFeatures",
+]

@@ -1,0 +1,119 @@
+"""Daily and weekly activity patterns (Definitions 5 and 6).
+
+A server has a *daily* pattern on day ``d`` when its load on ``d`` is
+accurately predicted by its load on day ``d - 1``; it has a daily pattern
+over an interval when every day in the interval conforms.  A *weekly*
+pattern is defined the same way against day ``d - 7``, and only applies to
+servers that do not already have a daily pattern.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.bucket_ratio import (
+    DEFAULT_ACCURACY_THRESHOLD,
+    DEFAULT_ERROR_BOUND,
+    ErrorBound,
+    bucket_ratio,
+)
+from repro.timeseries.calendar import MINUTES_PER_DAY, MINUTES_PER_WEEK
+from repro.timeseries.series import LoadSeries
+
+
+def day_over_day_bucket_ratio(
+    series: LoadSeries,
+    day: int,
+    lag_days: int,
+    bound: ErrorBound = DEFAULT_ERROR_BOUND,
+) -> float:
+    """Bucket ratio of day ``day`` predicted by day ``day - lag_days``.
+
+    The reference day's load is shifted forward so the two days align on
+    the same timestamps, exactly as persistent forecast would predict.
+    Returns ``nan`` when either day lacks samples.
+    """
+    if lag_days <= 0:
+        raise ValueError("lag_days must be positive")
+    target = series.day(day)
+    reference = series.day(day - lag_days)
+    if target.is_empty or reference.is_empty:
+        return float("nan")
+    prediction = reference.shift(lag_days * MINUTES_PER_DAY)
+    return bucket_ratio(prediction, target, bound)
+
+
+def conforms_on_day(
+    series: LoadSeries,
+    day: int,
+    lag_days: int,
+    bound: ErrorBound = DEFAULT_ERROR_BOUND,
+    threshold: float = DEFAULT_ACCURACY_THRESHOLD,
+) -> bool:
+    """Whether day ``day`` is accurately predicted by day ``day - lag_days``."""
+    ratio = day_over_day_bucket_ratio(series, day, lag_days, bound)
+    if np.isnan(ratio):
+        return False
+    return ratio >= threshold
+
+
+def _evaluable_days(series: LoadSeries, lag_days: int) -> list[int]:
+    """Days that have both their own samples and a reference day available."""
+    days = set(series.days())
+    return sorted(day for day in days if (day - lag_days) in days)
+
+
+def has_daily_pattern(
+    series: LoadSeries,
+    bound: ErrorBound = DEFAULT_ERROR_BOUND,
+    threshold: float = DEFAULT_ACCURACY_THRESHOLD,
+    min_days: int = 6,
+) -> bool:
+    """Definition 5 over the whole series: every evaluable day is predicted
+    by its previous day.
+
+    ``min_days`` guards against declaring a pattern from one or two lucky
+    day pairs.
+    """
+    days = _evaluable_days(series, 1)
+    if len(days) < min_days:
+        return False
+    return all(conforms_on_day(series, day, 1, bound, threshold) for day in days)
+
+
+def has_weekly_pattern(
+    series: LoadSeries,
+    bound: ErrorBound = DEFAULT_ERROR_BOUND,
+    threshold: float = DEFAULT_ACCURACY_THRESHOLD,
+    min_days: int = 6,
+) -> bool:
+    """Definition 6 over the whole series: the server does not have a daily
+    pattern, and every evaluable day is predicted by the same weekday one
+    week earlier.
+    """
+    if has_daily_pattern(series, bound, threshold, min_days):
+        return False
+    days = _evaluable_days(series, 7)
+    if len(days) < min_days:
+        return False
+    return all(conforms_on_day(series, day, 7, bound, threshold) for day in days)
+
+
+def pattern_strength(
+    series: LoadSeries,
+    lag_days: int,
+    bound: ErrorBound = DEFAULT_ERROR_BOUND,
+) -> float:
+    """Average day-over-day bucket ratio at the given lag.
+
+    A softer, continuous companion to the boolean pattern predicates, used
+    as a model-selection feature and in the ablation benchmarks.
+    """
+    days = _evaluable_days(series, lag_days)
+    if not days:
+        return float("nan")
+    ratios = [day_over_day_bucket_ratio(series, day, lag_days, bound) for day in days]
+    ratios = [ratio for ratio in ratios if not np.isnan(ratio)]
+    if not ratios:
+        return float("nan")
+    return float(np.mean(ratios))

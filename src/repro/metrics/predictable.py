@@ -1,0 +1,134 @@
+"""Predictable-server rule (Definition 9).
+
+A long-lived server is *predictable* when, for the last three weeks, its
+lowest-load windows were chosen correctly and the load during those windows
+was predicted accurately.  The online backup scheduler only moves backups
+for predictable servers; everything else keeps the default window
+(Section 2.3).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.metrics.bucket_ratio import (
+    DEFAULT_ACCURACY_THRESHOLD,
+    DEFAULT_ERROR_BOUND,
+    ErrorBound,
+    is_accurate_prediction,
+)
+from repro.metrics.ll_window import (
+    WindowSearchError,
+    is_window_correctly_chosen,
+    lowest_load_window,
+)
+from repro.timeseries.series import LoadSeries
+
+#: Definition 9 looks at the last three weeks of backup days.
+DEFAULT_HISTORY_WEEKS = 3
+
+
+@dataclass(frozen=True)
+class PredictabilityVerdict:
+    """Outcome of the Definition 9 check for one server."""
+
+    server_id: str
+    evaluated_days: tuple[int, ...]
+    window_correct_days: tuple[int, ...]
+    load_accurate_days: tuple[int, ...]
+    required_days: int
+    predictable: bool
+    reason: str = ""
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "server_id": self.server_id,
+            "evaluated_days": list(self.evaluated_days),
+            "window_correct_days": list(self.window_correct_days),
+            "load_accurate_days": list(self.load_accurate_days),
+            "required_days": self.required_days,
+            "predictable": self.predictable,
+            "reason": self.reason,
+        }
+
+
+def is_predictable_server(
+    server_id: str,
+    true_series: LoadSeries,
+    predicted_series: LoadSeries,
+    evaluation_days: Iterable[int],
+    backup_duration_minutes: int,
+    bound: ErrorBound = DEFAULT_ERROR_BOUND,
+    accuracy_threshold: float = DEFAULT_ACCURACY_THRESHOLD,
+    required_days: int = DEFAULT_HISTORY_WEEKS,
+) -> PredictabilityVerdict:
+    """Apply Definition 9 to one server.
+
+    Parameters
+    ----------
+    true_series / predicted_series:
+        Observed and forecast load covering the evaluation days.
+    evaluation_days:
+        The (typically weekly) backup days of the last three weeks.
+    backup_duration_minutes:
+        Expected duration of a full backup of this server.
+    required_days:
+        Minimum number of evaluated days that must all pass; defaults to
+        three (one backup day per week over three weeks).
+    """
+    evaluated: list[int] = []
+    window_correct: list[int] = []
+    load_accurate: list[int] = []
+    reason = ""
+
+    for day in sorted(set(evaluation_days)):
+        try:
+            predicted_window = lowest_load_window(
+                predicted_series, day, backup_duration_minutes
+            )
+            correct = is_window_correctly_chosen(
+                predicted_series, true_series, day, backup_duration_minutes, bound
+            )
+        except WindowSearchError:
+            reason = f"day {day} lacks enough samples to evaluate"
+            continue
+        evaluated.append(day)
+        if correct:
+            window_correct.append(day)
+        predicted_in_window = predicted_series.slice(
+            predicted_window.start, predicted_window.end
+        )
+        true_in_window = true_series.slice(predicted_window.start, predicted_window.end)
+        if is_accurate_prediction(
+            predicted_in_window, true_in_window, bound, accuracy_threshold
+        ):
+            load_accurate.append(day)
+
+    enough_history = len(evaluated) >= required_days
+    all_windows_correct = len(window_correct) == len(evaluated) and evaluated
+    all_loads_accurate = len(load_accurate) == len(evaluated) and evaluated
+    predictable = bool(enough_history and all_windows_correct and all_loads_accurate)
+
+    if not enough_history and not reason:
+        reason = (
+            f"only {len(evaluated)} evaluable days, {required_days} required "
+            "(server may be short-lived or have sparse telemetry)"
+        )
+    elif not predictable and not reason:
+        failed_windows = len(evaluated) - len(window_correct)
+        failed_loads = len(evaluated) - len(load_accurate)
+        reason = (
+            f"{failed_windows} day(s) with an incorrectly chosen window, "
+            f"{failed_loads} day(s) with inaccurate load prediction"
+        )
+
+    return PredictabilityVerdict(
+        server_id=server_id,
+        evaluated_days=tuple(evaluated),
+        window_correct_days=tuple(window_correct),
+        load_accurate_days=tuple(load_accurate),
+        required_days=required_days,
+        predictable=predictable,
+        reason=reason,
+    )

@@ -1,0 +1,50 @@
+"""Forecasting models (Section 5.1).
+
+The paper compares simple heuristics against ML models for predicting the
+next day of per-server load:
+
+* :mod:`~repro.models.persistent` -- the three persistent-forecast variants
+  (previous day, previous equivalent day, previous-week average).
+* :mod:`~repro.models.ssa` -- a Singular Spectrum Analysis forecaster, the
+  stand-in for NimbusML's ``SsaForecaster``.
+* :mod:`~repro.models.feedforward` -- a numpy feed-forward network, the
+  stand-in for GluonTS's simple feed-forward estimator.
+* :mod:`~repro.models.seasonal` -- an additive trend + seasonality model,
+  the stand-in for Prophet.
+* :mod:`~repro.models.arima` -- an ARIMA implementation with order search,
+  kept to demonstrate why the paper excludes it on cost grounds.
+* :mod:`~repro.models.registry` -- name-based model construction so any
+  model can be "plugged in" to the pipeline (Section 2.1).
+"""
+
+from repro.models.base import FitResult, Forecaster, ForecastError
+from repro.models.arima import ArimaForecaster
+from repro.models.feedforward import FeedForwardForecaster
+from repro.models.persistent import (
+    PersistentForecastVariant,
+    PreviousDayForecaster,
+    PreviousEquivalentDayForecaster,
+    PreviousWeekAverageForecaster,
+    make_persistent_forecaster,
+)
+from repro.models.registry import MODEL_DISPLAY_NAMES, available_models, create_forecaster
+from repro.models.seasonal import SeasonalAdditiveForecaster
+from repro.models.ssa import SsaForecaster
+
+__all__ = [
+    "Forecaster",
+    "FitResult",
+    "ForecastError",
+    "PersistentForecastVariant",
+    "PreviousDayForecaster",
+    "PreviousEquivalentDayForecaster",
+    "PreviousWeekAverageForecaster",
+    "make_persistent_forecaster",
+    "SsaForecaster",
+    "FeedForwardForecaster",
+    "SeasonalAdditiveForecaster",
+    "ArimaForecaster",
+    "create_forecaster",
+    "available_models",
+    "MODEL_DISPLAY_NAMES",
+]

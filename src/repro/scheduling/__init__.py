@@ -1,0 +1,28 @@
+"""Use-case-specific online components: backup scheduling (Section 2.3).
+
+* :mod:`~repro.scheduling.fabric` -- the service-fabric property store the
+  backup service reads window start times from.
+* :mod:`~repro.scheduling.backup` -- the backup scheduling algorithm:
+  verify three weeks of predictability, pick the predicted lowest-load
+  window, otherwise fall back to the default window.
+* :mod:`~repro.scheduling.runner` -- the per-day, per-cluster runner
+  service the algorithm executes inside.
+* :mod:`~repro.scheduling.impact` -- the impact analysis behind
+  Figure 13(a): how many backups moved, how many defaults already were
+  lowest-load windows, how many windows were chosen incorrectly.
+"""
+
+from repro.scheduling.backup import BackupDecision, BackupScheduler, ScheduleOutcome
+from repro.scheduling.fabric import FabricPropertyStore
+from repro.scheduling.impact import BackupImpactAnalyzer, BackupImpactReport
+from repro.scheduling.runner import RunnerService
+
+__all__ = [
+    "BackupScheduler",
+    "BackupDecision",
+    "ScheduleOutcome",
+    "FabricPropertyStore",
+    "RunnerService",
+    "BackupImpactAnalyzer",
+    "BackupImpactReport",
+]

@@ -1,0 +1,113 @@
+"""Runner service (Section 2.3).
+
+"The backup scheduler runs within Master Data Service (MDS) runner per day
+and cluster.  The Runner Service deploys executables which probe their
+respective services resulting in measurement of availability and quality of
+service.  The runner service is deployed in each Azure region."
+
+This module reproduces the execution harness: per-region runners that
+execute the backup scheduling step once per day per cluster, record probe
+results and expose a simple availability summary.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+
+from repro.metrics.predictable import PredictabilityVerdict
+from repro.scheduling.backup import BackupDecision, BackupScheduler
+from repro.timeseries.frame import ServerMetadata
+from repro.timeseries.series import LoadSeries
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """Outcome of one availability probe of a dependent service."""
+
+    probe_name: str
+    available: bool
+    detail: str = ""
+
+
+@dataclass
+class RunnerExecution:
+    """One daily execution of the runner on one cluster."""
+
+    region: str
+    cluster: str
+    day: int
+    decisions: dict[str, BackupDecision] = field(default_factory=dict)
+    probes: list[ProbeResult] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> bool:
+        return all(probe.available for probe in self.probes)
+
+
+class RunnerService:
+    """Per-region runner that executes the backup scheduler per day/cluster."""
+
+    def __init__(
+        self,
+        region: str,
+        scheduler: BackupScheduler | None = None,
+        probes: Mapping[str, Callable[[], bool]] | None = None,
+    ) -> None:
+        self._region = region
+        self._scheduler = scheduler if scheduler is not None else BackupScheduler()
+        self._probes = dict(probes) if probes is not None else {}
+        self._executions: list[RunnerExecution] = []
+
+    @property
+    def region(self) -> str:
+        return self._region
+
+    @property
+    def scheduler(self) -> BackupScheduler:
+        return self._scheduler
+
+    def add_probe(self, name: str, probe: Callable[[], bool]) -> None:
+        """Register an availability probe run before every execution."""
+        self._probes[name] = probe
+
+    def executions(self) -> list[RunnerExecution]:
+        """All executions performed so far."""
+        return list(self._executions)
+
+    def availability(self) -> float:
+        """Fraction of executions whose probes all succeeded (1.0 when none ran)."""
+        if not self._executions:
+            return 1.0
+        return sum(1 for e in self._executions if e.succeeded) / len(self._executions)
+
+    # ------------------------------------------------------------------ #
+
+    def run_day(
+        self,
+        cluster: str,
+        day: int,
+        metadata_by_server: Mapping[str, ServerMetadata],
+        predictions: Mapping[str, LoadSeries],
+        verdicts: Mapping[str, PredictabilityVerdict],
+    ) -> RunnerExecution:
+        """Execute the scheduling step for one cluster on one day."""
+        execution = RunnerExecution(region=self._region, cluster=cluster, day=day)
+        for name, probe in self._probes.items():
+            try:
+                available = bool(probe())
+                detail = ""
+            except Exception as exc:  # probes must never crash the runner
+                available = False
+                detail = str(exc)
+            execution.probes.append(ProbeResult(probe_name=name, available=available, detail=detail))
+
+        if execution.succeeded:
+            due = {
+                server_id: metadata
+                for server_id, metadata in metadata_by_server.items()
+                if metadata.region == self._region
+            }
+            execution.decisions = self._scheduler.schedule_fleet(due, predictions, verdicts)
+        self._executions.append(execution)
+        return execution

@@ -1,0 +1,25 @@
+"""Storage substrates standing in for the Azure services the paper uses.
+
+* :mod:`~repro.storage.csv_io` -- reading and writing the weekly extract
+  CSV files (the schema from Section 5.3.1).
+* :class:`~repro.storage.datalake.DataLakeStore` -- a local, partitioned
+  file store playing the role of Azure Data Lake Store (ADLS): extracts are
+  keyed by ``(region, week)``.
+* :class:`~repro.storage.documentdb.DocumentStore` -- a lightweight JSON
+  document store playing the role of Cosmos DB: pipeline results, model
+  records and scheduling decisions are persisted as keyed documents in
+  named containers.
+"""
+
+from repro.storage.csv_io import read_frame_csv, write_frame_csv
+from repro.storage.datalake import DataLakeStore, ExtractKey
+from repro.storage.documentdb import Document, DocumentStore
+
+__all__ = [
+    "read_frame_csv",
+    "write_frame_csv",
+    "DataLakeStore",
+    "ExtractKey",
+    "DocumentStore",
+    "Document",
+]

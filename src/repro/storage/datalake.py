@@ -1,0 +1,159 @@
+"""Partitioned extract store standing in for Azure Data Lake Store.
+
+The load-extraction query writes one CSV file per ``(region, week)``; the
+AML pipeline later picks up the extract for the region it is scheduled on
+(Section 2.2).  :class:`DataLakeStore` reproduces that contract on the local
+filesystem (or purely in memory for tests) with listing, existence checks
+and simple access control mirroring the "location of input data in ADLS and
+access rights to this data" knobs called out in Section 2.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.storage import csv_io
+from repro.timeseries.calendar import DEFAULT_INTERVAL_MINUTES
+from repro.timeseries.frame import LoadFrame
+
+
+class ExtractNotFoundError(KeyError):
+    """Raised when an extract for a requested (region, week) does not exist."""
+
+
+class AccessDeniedError(PermissionError):
+    """Raised when the caller's principal is not granted access to the store."""
+
+
+@dataclass(frozen=True, order=True)
+class ExtractKey:
+    """Identifies one weekly per-region extract."""
+
+    region: str
+    week: int
+
+    def filename(self) -> str:
+        return f"extract_{self.region}_week{self.week:04d}.csv"
+
+
+class DataLakeStore:
+    """Weekly per-region CSV extract store.
+
+    Parameters
+    ----------
+    root:
+        Directory to persist extracts under.  When ``None`` the store keeps
+        extracts purely in memory, which is what the unit tests and most
+        benchmarks use.
+    granted_principals:
+        Optional allow-list of principal names.  When set, every read/write
+        must pass a ``principal`` that is in the list.
+    """
+
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        granted_principals: set[str] | None = None,
+    ) -> None:
+        self._root = Path(root) if root is not None else None
+        if self._root is not None:
+            self._root.mkdir(parents=True, exist_ok=True)
+        self._memory: dict[ExtractKey, str] = {}
+        self._granted = set(granted_principals) if granted_principals is not None else None
+
+    # ------------------------------------------------------------------ #
+
+    def _check_access(self, principal: str | None) -> None:
+        if self._granted is None:
+            return
+        if principal is None or principal not in self._granted:
+            raise AccessDeniedError(
+                f"principal {principal!r} is not granted access to this data lake"
+            )
+
+    def _path_for(self, key: ExtractKey) -> Path:
+        assert self._root is not None
+        return self._root / key.region / key.filename()
+
+    # ------------------------------------------------------------------ #
+
+    def write_extract(
+        self,
+        key: ExtractKey,
+        frame: LoadFrame,
+        principal: str | None = None,
+    ) -> int:
+        """Persist ``frame`` as the extract for ``key``; returns rows written."""
+        self._check_access(principal)
+        if self._root is None:
+            text = csv_io.frame_to_csv_text(frame)
+            self._memory[key] = text
+            return max(0, text.count("\n") - 1)
+        return csv_io.write_frame_csv(frame, self._path_for(key))
+
+    def read_extract(
+        self,
+        key: ExtractKey,
+        interval_minutes: int = DEFAULT_INTERVAL_MINUTES,
+        principal: str | None = None,
+    ) -> LoadFrame:
+        """Load the extract for ``key``; raises :class:`ExtractNotFoundError`."""
+        self._check_access(principal)
+        if self._root is None:
+            try:
+                text = self._memory[key]
+            except KeyError as exc:
+                raise ExtractNotFoundError(f"no extract for {key}") from exc
+            return csv_io.frame_from_csv_text(text, interval_minutes)
+        path = self._path_for(key)
+        if not path.exists():
+            raise ExtractNotFoundError(f"no extract for {key}")
+        return csv_io.read_frame_csv(path, interval_minutes)
+
+    def has_extract(self, key: ExtractKey) -> bool:
+        """Return whether an extract exists for ``key``."""
+        if self._root is None:
+            return key in self._memory
+        return self._path_for(key).exists()
+
+    def list_extracts(self, region: str | None = None) -> list[ExtractKey]:
+        """List available extract keys, optionally restricted to a region."""
+        if self._root is None:
+            keys = sorted(self._memory)
+        else:
+            keys = []
+            for path in sorted(self._root.glob("*/extract_*_week*.csv")):
+                stem = path.stem  # extract_<region>_week<NNNN>
+                middle = stem[len("extract_"):]
+                region_part, _, week_part = middle.rpartition("_week")
+                keys.append(ExtractKey(region=region_part, week=int(week_part)))
+        if region is not None:
+            keys = [key for key in keys if key.region == region]
+        return keys
+
+    def extract_size_bytes(self, key: ExtractKey) -> int:
+        """Approximate size of the stored extract in bytes.
+
+        Region extract size is the scalability axis of Figure 12; the
+        benchmark harness reports it alongside runtimes.
+        """
+        if self._root is None:
+            try:
+                return len(self._memory[key].encode("utf-8"))
+            except KeyError as exc:
+                raise ExtractNotFoundError(f"no extract for {key}") from exc
+        path = self._path_for(key)
+        if not path.exists():
+            raise ExtractNotFoundError(f"no extract for {key}")
+        return path.stat().st_size
+
+    def delete_extract(self, key: ExtractKey, principal: str | None = None) -> None:
+        """Remove the extract for ``key`` if present."""
+        self._check_access(principal)
+        if self._root is None:
+            self._memory.pop(key, None)
+            return
+        path = self._path_for(key)
+        if path.exists():
+            path.unlink()

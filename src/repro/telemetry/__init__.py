@@ -1,0 +1,46 @@
+"""Synthetic telemetry substrate.
+
+The paper's experiments run on proprietary Azure production telemetry:
+average user CPU percentage per five minutes for tens of thousands of
+PostgreSQL and MySQL servers, per region, over several weeks.  This package
+replaces that data source with a calibrated synthetic generator:
+
+* :mod:`~repro.telemetry.fleet` -- fleet and region specifications with the
+  workload-class mix reported in the paper's Figure 3 (and the SQL-database
+  mix of Appendix A).
+* :mod:`~repro.telemetry.generator` -- per-class trace generators (stable,
+  daily, weekly, unstable, short-lived) and the fleet-level
+  :class:`WorkloadGenerator` that produces :class:`~repro.timeseries.frame.LoadFrame`
+  objects.
+* :mod:`~repro.telemetry.raw_store` -- a simulated raw telemetry store with
+  minute-granularity rows, jitter, duplicates and gaps.
+* :mod:`~repro.telemetry.extraction` -- the recurring load-extraction query
+  that aggregates raw telemetry to the five-minute grid and writes weekly
+  per-region extracts to the data lake (Section 2.2).
+"""
+
+from repro.telemetry.fleet import (
+    FLEET_CLASS_MIX,
+    SQL_STABLE_FRACTION,
+    FleetSpec,
+    RegionSpec,
+    ServerClass,
+    default_fleet_spec,
+    sql_database_fleet_spec,
+)
+from repro.telemetry.generator import WorkloadGenerator
+from repro.telemetry.extraction import LoadExtractionQuery
+from repro.telemetry.raw_store import RawTelemetryStore
+
+__all__ = [
+    "ServerClass",
+    "RegionSpec",
+    "FleetSpec",
+    "FLEET_CLASS_MIX",
+    "SQL_STABLE_FRACTION",
+    "default_fleet_spec",
+    "sql_database_fleet_spec",
+    "WorkloadGenerator",
+    "RawTelemetryStore",
+    "LoadExtractionQuery",
+]

@@ -1,0 +1,28 @@
+"""Data Validation Module (Sections 2.2 and 2.4).
+
+The pipeline validates every weekly extract before training or inference.
+Following the paper, the schema and data properties (min/max bounds of
+numeric attributes) are *deduced from the input data*, stored, optionally
+verified by a domain expert, and then used to detect schema and bound
+anomalies on subsequent extracts.
+
+* :mod:`~repro.validation.schema` -- schema/property inference and
+  persistence.
+* :mod:`~repro.validation.rules` -- individual validation rules (schema
+  anomalies, bound anomalies, missing data, duplicate timestamps).
+* :mod:`~repro.validation.validator` -- the module that runs all rules and
+  produces a validation report consumed by incident management.
+"""
+
+from repro.validation.rules import ValidationIssue, ValidationSeverity
+from repro.validation.schema import DataProperties, infer_properties
+from repro.validation.validator import DataValidationModule, ValidationReport
+
+__all__ = [
+    "DataProperties",
+    "infer_properties",
+    "ValidationIssue",
+    "ValidationSeverity",
+    "DataValidationModule",
+    "ValidationReport",
+]

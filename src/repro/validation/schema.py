@@ -1,0 +1,113 @@
+"""Schema and data-property inference (Section 2.4).
+
+To adapt the validation module to a new scenario without code changes, the
+schema and simple data properties (min/max of numeric attributes, expected
+sampling interval, expected coverage) are deduced from a reference extract,
+persisted to a JSON file, reviewed by a domain expert and then enforced on
+later extracts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.timeseries.frame import LoadFrame
+
+
+@dataclass(frozen=True)
+class DataProperties:
+    """Inferred schema and value-bound properties of an extract.
+
+    Attributes
+    ----------
+    columns:
+        The expected CSV columns.
+    load_min / load_max:
+        Observed bounds of the load attribute; the bound-anomaly rule flags
+        extracts whose values fall outside ``[load_min - slack, load_max + slack]``.
+    interval_minutes:
+        Expected sampling interval.
+    min_servers:
+        Minimum plausible number of servers per extract, used to detect
+        missing or truncated input data.
+    verified_by:
+        Name of the domain expert who signed off on the properties file
+        (empty until verified).
+    """
+
+    columns: tuple[str, ...]
+    load_min: float
+    load_max: float
+    interval_minutes: int
+    min_servers: int = 1
+    verified_by: str = ""
+
+    def verified(self, expert: str) -> "DataProperties":
+        """Return a copy marked as verified by ``expert``."""
+        return DataProperties(
+            columns=self.columns,
+            load_min=self.load_min,
+            load_max=self.load_max,
+            interval_minutes=self.interval_minutes,
+            min_servers=self.min_servers,
+            verified_by=expert,
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "columns": list(self.columns),
+            "load_min": self.load_min,
+            "load_max": self.load_max,
+            "interval_minutes": self.interval_minutes,
+            "min_servers": self.min_servers,
+            "verified_by": self.verified_by,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Persistence ("stored in a file ... verified by a domain expert")
+    # ------------------------------------------------------------------ #
+
+    def save(self, path: str | Path) -> None:
+        """Persist the properties to a JSON file."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.as_dict(), indent=2, sort_keys=True))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "DataProperties":
+        """Load properties from a JSON file produced by :meth:`save`."""
+        payload = json.loads(Path(path).read_text())
+        return cls(
+            columns=tuple(payload["columns"]),
+            load_min=float(payload["load_min"]),
+            load_max=float(payload["load_max"]),
+            interval_minutes=int(payload["interval_minutes"]),
+            min_servers=int(payload.get("min_servers", 1)),
+            verified_by=str(payload.get("verified_by", "")),
+        )
+
+
+def infer_properties(frame: LoadFrame, min_servers: int | None = None) -> DataProperties:
+    """Deduce :class:`DataProperties` from a reference extract.
+
+    The load bounds are the observed min/max across all servers; the
+    expected column set is the standard extract schema.
+    """
+    load_min = float("inf")
+    load_max = float("-inf")
+    for _, _, series in frame.items():
+        if series.is_empty:
+            continue
+        load_min = min(load_min, series.minimum())
+        load_max = max(load_max, series.maximum())
+    if load_min > load_max:
+        load_min, load_max = 0.0, 100.0
+    return DataProperties(
+        columns=LoadFrame.CSV_HEADER,
+        load_min=load_min,
+        load_max=load_max,
+        interval_minutes=frame.interval_minutes,
+        min_servers=min_servers if min_servers is not None else max(1, len(frame) // 2),
+    )

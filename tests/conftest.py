@@ -1,0 +1,71 @@
+"""Shared fixtures for the Seagull reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.telemetry.fleet import FleetSpec, ServerClass, default_fleet_spec
+from repro.telemetry.generator import WorkloadGenerator
+from repro.timeseries.calendar import MINUTES_PER_DAY
+from repro.timeseries.frame import LoadFrame, ServerMetadata
+from repro.timeseries.series import LoadSeries
+
+from tests.helpers import POINTS_PER_DAY, diurnal_series
+
+
+@pytest.fixture
+def simple_series() -> LoadSeries:
+    """Four weeks of a clean diurnal trace."""
+    return diurnal_series(28, noise=0.5, seed=3)
+
+
+@pytest.fixture
+def stable_series() -> LoadSeries:
+    """Four weeks of near-constant load."""
+    rng = np.random.default_rng(11)
+    n = 28 * POINTS_PER_DAY
+    return LoadSeries.from_values(np.clip(15 + rng.normal(0, 1.0, n), 0, 100))
+
+
+@pytest.fixture
+def small_metadata() -> ServerMetadata:
+    backup_start = 27 * MINUTES_PER_DAY + 600
+    return ServerMetadata(
+        server_id="srv-1",
+        region="region-0",
+        default_backup_start=backup_start,
+        default_backup_end=backup_start + 60,
+        backup_duration_minutes=60,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_fleet_spec() -> FleetSpec:
+    return default_fleet_spec(servers_per_region=(30, 15), weeks=4, seed=21)
+
+
+@pytest.fixture(scope="session")
+def small_fleet(small_fleet_spec) -> LoadFrame:
+    """A two-region, 45-server synthetic fleet shared by many tests."""
+    return WorkloadGenerator(small_fleet_spec).generate_fleet()
+
+
+@pytest.fixture(scope="session")
+def region_frame(small_fleet) -> LoadFrame:
+    """Only the first region of the shared fleet."""
+    return small_fleet.filter(lambda metadata, series: metadata.region == "region-0")
+
+
+@pytest.fixture(scope="session")
+def class_servers() -> dict[str, LoadSeries]:
+    """One generated server per ground-truth class, keyed by class name."""
+    spec = default_fleet_spec(servers_per_region=(1,), weeks=4, seed=5)
+    generator = WorkloadGenerator(spec)
+    servers: dict[str, LoadSeries] = {}
+    for server_class in ServerClass:
+        generated = generator.generate_server(
+            f"probe-{server_class.value}", "region-0", server_class
+        )
+        servers[server_class.value] = generated.series
+    return servers

@@ -1,0 +1,65 @@
+"""Helper constructors shared by the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.timeseries.calendar import MINUTES_PER_DAY, points_per_day
+from repro.timeseries.series import LoadSeries
+
+POINTS_PER_DAY = points_per_day(5)
+
+
+def make_series(values, start=0, interval=5) -> LoadSeries:
+    """Construct a series from raw values on a regular grid."""
+    return LoadSeries.from_values(
+        np.asarray(values, dtype=float), start=start, interval_minutes=interval
+    )
+
+
+def flat_day(level: float, day: int = 0, interval: int = 5) -> LoadSeries:
+    """One day of constant load."""
+    n = MINUTES_PER_DAY // interval
+    return LoadSeries.from_values(
+        np.full(n, level), start=day * MINUTES_PER_DAY, interval_minutes=interval
+    )
+
+
+def diurnal_series(
+    n_days: int,
+    base: float = 20.0,
+    amplitude: float = 30.0,
+    noise: float = 0.0,
+    interval: int = 5,
+    seed: int = 0,
+    start_day: int = 0,
+) -> LoadSeries:
+    """A repeating diurnal (sinusoidal) load trace over ``n_days`` days."""
+    rng = np.random.default_rng(seed)
+    points_day = MINUTES_PER_DAY // interval
+    n = n_days * points_day
+    phase = 2 * np.pi * np.arange(n) / points_day
+    values = base + amplitude * 0.5 * (1 + np.sin(phase - np.pi / 2))
+    if noise:
+        values = values + rng.normal(0, noise, n)
+    values = np.clip(values, 0, 100)
+    return LoadSeries.from_values(
+        values, start=start_day * MINUTES_PER_DAY, interval_minutes=interval
+    )
+
+
+def weekly_profile_series(
+    n_days: int,
+    weekday_level: float = 60.0,
+    weekend_level: float = 10.0,
+    noise: float = 0.5,
+    seed: int = 1,
+) -> LoadSeries:
+    """A trace whose level depends on the day of week (weekly pattern)."""
+    rng = np.random.default_rng(seed)
+    days = []
+    for day in range(n_days):
+        level = weekend_level if day % 7 in (5, 6) else weekday_level
+        days.append(np.full(POINTS_PER_DAY, level))
+    values = np.concatenate(days) + rng.normal(0, noise, n_days * POINTS_PER_DAY)
+    return LoadSeries.from_values(np.clip(values, 0, 100))

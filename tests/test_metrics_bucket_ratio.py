@@ -1,0 +1,108 @@
+"""Unit tests for the acceptable error bound and bucket ratio (Definitions 1-2)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.bucket_ratio import (
+    DEFAULT_ACCURACY_THRESHOLD,
+    DEFAULT_ERROR_BOUND,
+    ErrorBound,
+    bucket_ratio,
+    is_accurate_prediction,
+)
+
+from tests.helpers import make_series
+
+
+class TestErrorBound:
+    def test_default_is_plus10_minus5(self):
+        assert DEFAULT_ERROR_BOUND.over_tolerance == 10.0
+        assert DEFAULT_ERROR_BOUND.under_tolerance == 5.0
+
+    def test_asymmetry_over_prediction_allowed(self):
+        # Over-predicting by 10 is acceptable, by 10.5 is not.
+        assert DEFAULT_ERROR_BOUND.within(30.0, 20.0)
+        assert not DEFAULT_ERROR_BOUND.within(30.6, 20.0)
+
+    def test_asymmetry_under_prediction_stricter(self):
+        # Under-predicting by 5 is acceptable, by 6 is not.
+        assert DEFAULT_ERROR_BOUND.within(15.0, 20.0)
+        assert not DEFAULT_ERROR_BOUND.within(14.0, 20.0)
+
+    def test_contains_mask(self):
+        predicted = np.array([10.0, 25.0, 10.0])
+        true = np.array([10.0, 10.0, 20.0])
+        mask = DEFAULT_ERROR_BOUND.contains(predicted, true)
+        assert mask.tolist() == [True, False, False]
+
+    def test_rejects_negative_tolerances(self):
+        with pytest.raises(ValueError):
+            ErrorBound(over_tolerance=-1.0)
+
+    def test_custom_bound(self):
+        bound = ErrorBound(over_tolerance=1.0, under_tolerance=1.0)
+        assert bound.within(10.5, 10.0)
+        assert not bound.within(12.0, 10.0)
+
+
+class TestBucketRatio:
+    def test_perfect_prediction_is_one(self):
+        truth = make_series([10, 20, 30])
+        assert bucket_ratio(truth, truth) == pytest.approx(1.0)
+
+    def test_half_in_bound(self):
+        predicted = np.array([10.0, 50.0])
+        true = np.array([10.0, 10.0])
+        assert bucket_ratio(predicted, true) == pytest.approx(0.5)
+
+    def test_series_alignment_by_timestamp(self):
+        predicted = make_series([10, 20, 30], start=0)
+        true = make_series([100, 30], start=5)  # overlaps at minutes 5 and 10
+        # predicted at 5 is 20 vs true 100 (out), predicted at 10 is 30 vs 30 (in)
+        assert bucket_ratio(predicted, true) == pytest.approx(0.5)
+
+    def test_no_overlap_is_nan(self):
+        a = make_series([1, 2], start=0)
+        b = make_series([1, 2], start=1000)
+        assert np.isnan(bucket_ratio(a, b))
+
+    def test_array_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            bucket_ratio(np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_paper_figure2_example_inaccurate(self):
+        # A prediction where only 75% of points are within bound must be
+        # classified inaccurate despite looking "close enough" (Figure 2).
+        true = np.full(100, 50.0)
+        predicted = np.full(100, 50.0)
+        predicted[:25] = 30.0  # 25% of points under-predicted by 20
+        assert bucket_ratio(predicted, true) == pytest.approx(0.75)
+        assert not is_accurate_prediction(predicted, true)
+
+
+class TestIsAccuratePrediction:
+    def test_threshold_is_90_percent(self):
+        assert DEFAULT_ACCURACY_THRESHOLD == pytest.approx(0.90)
+
+    def test_exactly_at_threshold_is_accurate(self):
+        true = np.full(10, 50.0)
+        predicted = true.copy()
+        predicted[0] = 0.0  # 90% in bound
+        assert is_accurate_prediction(predicted, true)
+
+    def test_below_threshold_is_inaccurate(self):
+        true = np.full(10, 50.0)
+        predicted = true.copy()
+        predicted[:2] = 0.0  # 80% in bound
+        assert not is_accurate_prediction(predicted, true)
+
+    def test_empty_comparison_is_not_accurate(self):
+        a = make_series([1], start=0)
+        b = make_series([1], start=500)
+        assert not is_accurate_prediction(a, b)
+
+    def test_custom_threshold(self):
+        true = np.full(10, 50.0)
+        predicted = true.copy()
+        predicted[:3] = 0.0
+        assert is_accurate_prediction(predicted, true, threshold=0.7)

@@ -1,0 +1,145 @@
+"""Unit tests for the ML forecasters (SSA, feed-forward, seasonal, ARIMA)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.standard import mean_absolute_error
+from repro.models.arima import ArimaConfig, ArimaForecaster
+from repro.models.base import ForecastError
+from repro.models.feedforward import FeedForwardConfig, FeedForwardForecaster
+from repro.models.seasonal import SeasonalAdditiveForecaster, SeasonalConfig
+from repro.models.ssa import SsaForecaster
+from repro.timeseries.series import LoadSeries
+
+from tests.helpers import POINTS_PER_DAY, diurnal_series, make_series
+
+
+@pytest.fixture(scope="module")
+def weekly_history() -> LoadSeries:
+    """One week of a clean diurnal trace used to train every model."""
+    return diurnal_series(7, base=20, amplitude=40, noise=1.0, seed=4)
+
+
+@pytest.fixture(scope="module")
+def next_day_truth() -> LoadSeries:
+    return diurnal_series(8, base=20, amplitude=40, noise=1.0, seed=4).day(7)
+
+
+class TestSsaForecaster:
+    def test_forecast_tracks_diurnal_shape(self, weekly_history, next_day_truth):
+        forecast = SsaForecaster(rank=6).fit(weekly_history).predict(POINTS_PER_DAY)
+        error = mean_absolute_error(forecast.values, next_day_truth.values)
+        assert error < 8.0
+
+    def test_forecast_clipped_to_valid_range(self, weekly_history):
+        forecast = SsaForecaster().fit(weekly_history).predict(POINTS_PER_DAY)
+        assert forecast.minimum() >= 0.0
+        assert forecast.maximum() <= 100.0
+
+    def test_history_too_short_raises(self):
+        with pytest.raises(ForecastError):
+            SsaForecaster().fit(make_series([1.0, 2.0]))
+
+    def test_rank_validation(self):
+        with pytest.raises(ValueError):
+            SsaForecaster(rank=0)
+
+    def test_custom_window(self, weekly_history):
+        forecast = SsaForecaster(window_points=96, rank=4).fit(weekly_history).predict(48)
+        assert len(forecast) == 48
+
+
+class TestFeedForwardForecaster:
+    def test_learns_diurnal_shape(self, weekly_history, next_day_truth):
+        config = FeedForwardConfig(hidden_units=32, epochs=8, seed=1)
+        forecast = FeedForwardForecaster(config).fit(weekly_history).predict(POINTS_PER_DAY)
+        error = mean_absolute_error(forecast.values, next_day_truth.values)
+        # The network should clearly beat a constant-mean prediction.
+        baseline = mean_absolute_error(
+            np.full(POINTS_PER_DAY, weekly_history.mean()), next_day_truth.values
+        )
+        assert error < baseline
+
+    def test_deterministic_given_seed(self, weekly_history):
+        config = FeedForwardConfig(epochs=2, seed=7)
+        first = FeedForwardForecaster(config).fit(weekly_history).predict(48)
+        second = FeedForwardForecaster(config).fit(weekly_history).predict(48)
+        np.testing.assert_allclose(first.values, second.values)
+
+    def test_history_too_short_raises(self):
+        with pytest.raises(ForecastError):
+            FeedForwardForecaster().fit(make_series(np.ones(100)))
+
+    def test_multi_chunk_forecast_length(self, weekly_history):
+        config = FeedForwardConfig(epochs=2, seed=3)
+        forecast = FeedForwardForecaster(config).fit(weekly_history).predict(POINTS_PER_DAY + 7)
+        assert len(forecast) == POINTS_PER_DAY + 7
+
+
+class TestSeasonalAdditiveForecaster:
+    def test_learns_daily_seasonality(self, weekly_history, next_day_truth):
+        forecast = SeasonalAdditiveForecaster().fit(weekly_history).predict(POINTS_PER_DAY)
+        error = mean_absolute_error(forecast.values, next_day_truth.values)
+        assert error < 8.0
+
+    def test_selected_hyperparameters_exposed(self, weekly_history):
+        model = SeasonalAdditiveForecaster().fit(weekly_history)
+        selected = model.selected_hyperparameters
+        assert "alpha" in selected and "n_changepoints" in selected
+        assert selected["alpha"] in SeasonalConfig().ridge_candidates
+
+    def test_history_too_short_raises(self):
+        with pytest.raises(ForecastError):
+            SeasonalAdditiveForecaster().fit(make_series([1.0, 2.0]))
+
+    def test_flat_history_predicts_flat(self):
+        history = make_series(np.full(7 * POINTS_PER_DAY, 42.0))
+        forecast = SeasonalAdditiveForecaster().fit(history).predict(96)
+        assert np.all(np.abs(forecast.values - 42.0) < 3.0)
+
+
+class TestArimaForecaster:
+    def test_forecast_on_autoregressive_signal(self):
+        rng = np.random.default_rng(0)
+        n = 600
+        values = np.zeros(n)
+        for t in range(1, n):
+            values[t] = 0.8 * values[t - 1] + rng.normal(0, 1.0)
+        values = np.clip(values + 30.0, 0, 100)
+        history = make_series(values, interval=15)
+        config = ArimaConfig(max_p=2, max_d=1, max_q=1, max_training_points=400)
+        forecaster = ArimaForecaster(config).fit(history)
+        forecast = forecaster.predict(8)
+        assert len(forecast) == 8
+        assert forecaster.order[0] >= 1  # picked an autoregressive order
+
+    def test_history_too_short_raises(self):
+        with pytest.raises(ForecastError):
+            ArimaForecaster().fit(make_series(np.ones(8)))
+
+    def test_training_points_cap_applies(self):
+        config = ArimaConfig(max_p=1, max_d=0, max_q=0, max_training_points=64)
+        history = make_series(np.sin(np.arange(500)) * 10 + 30)
+        forecaster = ArimaForecaster(config).fit(history)
+        assert len(forecaster.predict(4)) == 4
+
+    def test_arima_is_markedly_slower_than_persistent(self):
+        """The paper excludes ARIMA because its per-server order search is
+        orders of magnitude more expensive than persistent forecast."""
+        import time
+
+        from repro.models.persistent import PreviousDayForecaster
+
+        history = diurnal_series(7, noise=1.0, seed=9)
+
+        start = time.perf_counter()
+        PreviousDayForecaster().fit(history).predict(POINTS_PER_DAY)
+        persistent_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        ArimaForecaster(ArimaConfig(max_p=1, max_d=1, max_q=1, max_training_points=576)).fit(
+            history
+        ).predict(POINTS_PER_DAY)
+        arima_time = time.perf_counter() - start
+
+        assert arima_time > 5 * persistent_time

@@ -1,0 +1,57 @@
+"""Unit tests for the model registry / plug-in point."""
+
+import pytest
+
+from repro.models.base import Forecaster
+from repro.models.persistent import PreviousDayForecaster
+from repro.models.registry import (
+    MODEL_DISPLAY_NAMES,
+    UnknownModelError,
+    available_models,
+    canonical_name,
+    create_forecaster,
+    register_model,
+)
+from repro.models.seasonal import SeasonalAdditiveForecaster
+from repro.models.ssa import SsaForecaster
+
+
+class TestLookup:
+    def test_available_models_contains_paper_lineup(self):
+        models = available_models()
+        for name in ("persistent_previous_day", "ssa", "feedforward", "seasonal_additive", "arima"):
+            assert name in models
+
+    def test_canonical_name_resolves_aliases(self):
+        assert canonical_name("Prophet") == "seasonal_additive"
+        assert canonical_name("NimbusML") == "ssa"
+        assert canonical_name("gluon") == "feedforward"
+        assert canonical_name("pf") == "persistent_previous_day"
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(UnknownModelError):
+            canonical_name("transformer-9000")
+
+    def test_create_forecaster_types(self):
+        assert isinstance(create_forecaster("prophet"), SeasonalAdditiveForecaster)
+        assert isinstance(create_forecaster("ssa"), SsaForecaster)
+        assert isinstance(create_forecaster("persistent"), PreviousDayForecaster)
+
+    def test_display_names_cover_all_models(self):
+        for name in available_models():
+            assert name in MODEL_DISPLAY_NAMES
+
+
+class TestRegisterModel:
+    def test_register_and_create_custom_model(self):
+        class ConstantForecaster(PreviousDayForecaster):
+            name = "constant_test_model"
+
+        register_model("constant_test_model", ConstantForecaster, overwrite=True)
+        created = create_forecaster("constant_test_model")
+        assert isinstance(created, ConstantForecaster)
+        assert isinstance(created, Forecaster)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_model("ssa", SsaForecaster)

@@ -1,0 +1,84 @@
+"""Unit tests for the partitioned executor and partition helpers."""
+
+import pytest
+
+from repro.parallel.executor import ExecutionBackend, PartitionedExecutor
+from repro.parallel.partition import chunk_evenly, partition_dict, partition_list
+
+
+def square_sum(chunk):
+    return sum(x * x for x in chunk)
+
+
+class TestChunkEvenly:
+    def test_even_split(self):
+        assert chunk_evenly(6, 3) == [(0, 2), (2, 4), (4, 6)]
+
+    def test_uneven_split_front_loads(self):
+        assert chunk_evenly(5, 3) == [(0, 2), (2, 4), (4, 5)]
+
+    def test_more_chunks_than_items(self):
+        assert chunk_evenly(2, 5) == [(0, 1), (1, 2)]
+
+    def test_zero_items(self):
+        assert chunk_evenly(0, 3) == []
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            chunk_evenly(3, 0)
+        with pytest.raises(ValueError):
+            chunk_evenly(-1, 2)
+
+
+class TestPartitionHelpers:
+    def test_partition_list(self):
+        assert partition_list([1, 2, 3, 4, 5], 2) == [[1, 2, 3], [4, 5]]
+
+    def test_partition_list_preserves_all_items(self):
+        items = list(range(17))
+        parts = partition_list(items, 4)
+        assert sorted(x for part in parts for x in part) == items
+
+    def test_partition_dict(self):
+        parts = partition_dict({"a": 1, "b": 2, "c": 3}, 2)
+        assert len(parts) == 2
+        merged = {}
+        for part in parts:
+            merged.update(part)
+        assert merged == {"a": 1, "b": 2, "c": 3}
+
+
+class TestExecutorBackends:
+    @pytest.mark.parametrize("backend", ["serial", "threads", "processes"])
+    def test_map_results_in_order(self, backend):
+        executor = PartitionedExecutor(backend, n_workers=2)
+        partitions = [[1, 2], [3], [4, 5, 6]]
+        assert executor.map(square_sum, partitions) == [5, 9, 77]
+
+    def test_string_backend_resolution(self):
+        assert PartitionedExecutor("processes").backend is ExecutionBackend.PROCESSES
+
+    def test_empty_partitions(self):
+        assert PartitionedExecutor().map(square_sum, []) == []
+
+    def test_map_flat(self):
+        executor = PartitionedExecutor()
+        result = executor.map_flat(lambda chunk: [x + 1 for x in chunk], [[1, 2], [3]])
+        assert result == [2, 3, 4]
+
+    def test_last_report_populated(self):
+        executor = PartitionedExecutor()
+        executor.map(square_sum, [[1], [2]])
+        report = executor.last_report
+        assert report is not None
+        assert report.n_partitions == 2
+        assert report.backend is ExecutionBackend.SERIAL
+        assert report.elapsed_seconds >= 0
+
+    def test_constructors(self):
+        assert PartitionedExecutor.serial().backend is ExecutionBackend.SERIAL
+        assert PartitionedExecutor.parallel(2).backend is ExecutionBackend.PROCESSES
+        assert PartitionedExecutor.parallel(2).n_workers == 2
+
+    def test_n_workers_defaults_to_positive(self):
+        assert PartitionedExecutor().n_workers >= 1

@@ -1,0 +1,114 @@
+"""Unit tests for the data-lake extract store."""
+
+import pytest
+
+from repro.storage.datalake import (
+    AccessDeniedError,
+    DataLakeStore,
+    ExtractKey,
+    ExtractNotFoundError,
+)
+from repro.timeseries.frame import LoadFrame, ServerMetadata
+
+from tests.helpers import make_series
+
+
+def small_frame(n=2) -> LoadFrame:
+    frame = LoadFrame(5)
+    for index in range(n):
+        frame.add_server(
+            ServerMetadata(server_id=f"s{index}", region="r0"), make_series([1.0, 2.0])
+        )
+    return frame
+
+
+class TestInMemoryStore:
+    def test_write_then_read(self):
+        store = DataLakeStore()
+        key = ExtractKey("r0", 3)
+        store.write_extract(key, small_frame())
+        loaded = store.read_extract(key)
+        assert len(loaded) == 2
+
+    def test_read_missing_raises(self):
+        with pytest.raises(ExtractNotFoundError):
+            DataLakeStore().read_extract(ExtractKey("r0", 0))
+
+    def test_has_extract(self):
+        store = DataLakeStore()
+        key = ExtractKey("r0", 1)
+        assert not store.has_extract(key)
+        store.write_extract(key, small_frame())
+        assert store.has_extract(key)
+
+    def test_list_extracts_filters_by_region(self):
+        store = DataLakeStore()
+        store.write_extract(ExtractKey("r0", 0), small_frame())
+        store.write_extract(ExtractKey("r1", 0), small_frame())
+        assert store.list_extracts() == [ExtractKey("r0", 0), ExtractKey("r1", 0)]
+        assert store.list_extracts("r1") == [ExtractKey("r1", 0)]
+
+    def test_extract_size_bytes_positive(self):
+        store = DataLakeStore()
+        key = ExtractKey("r0", 0)
+        store.write_extract(key, small_frame())
+        assert store.extract_size_bytes(key) > 0
+
+    def test_size_of_missing_raises(self):
+        with pytest.raises(ExtractNotFoundError):
+            DataLakeStore().extract_size_bytes(ExtractKey("r0", 9))
+
+    def test_delete_extract(self):
+        store = DataLakeStore()
+        key = ExtractKey("r0", 0)
+        store.write_extract(key, small_frame())
+        store.delete_extract(key)
+        assert not store.has_extract(key)
+
+
+class TestFileBackedStore:
+    def test_roundtrip_on_disk(self, tmp_path):
+        store = DataLakeStore(tmp_path)
+        key = ExtractKey("westus", 12)
+        store.write_extract(key, small_frame(3))
+        assert store.read_extract(key).server_ids() == ["s0", "s1", "s2"]
+        assert store.list_extracts() == [key]
+
+    def test_size_matches_file(self, tmp_path):
+        store = DataLakeStore(tmp_path)
+        key = ExtractKey("westus", 1)
+        store.write_extract(key, small_frame())
+        assert store.extract_size_bytes(key) == (tmp_path / "westus" / key.filename()).stat().st_size
+
+    def test_delete_on_disk(self, tmp_path):
+        store = DataLakeStore(tmp_path)
+        key = ExtractKey("r", 0)
+        store.write_extract(key, small_frame())
+        store.delete_extract(key)
+        assert not store.has_extract(key)
+
+
+class TestAccessControl:
+    def test_denies_unknown_principal(self):
+        store = DataLakeStore(granted_principals={"seagull"})
+        with pytest.raises(AccessDeniedError):
+            store.write_extract(ExtractKey("r0", 0), small_frame(), principal="intruder")
+
+    def test_denies_missing_principal(self):
+        store = DataLakeStore(granted_principals={"seagull"})
+        with pytest.raises(AccessDeniedError):
+            store.read_extract(ExtractKey("r0", 0))
+
+    def test_allows_granted_principal(self):
+        store = DataLakeStore(granted_principals={"seagull"})
+        key = ExtractKey("r0", 0)
+        store.write_extract(key, small_frame(), principal="seagull")
+        assert len(store.read_extract(key, principal="seagull")) == 2
+
+
+class TestExtractKey:
+    def test_filename_format(self):
+        assert ExtractKey("eastus", 7).filename() == "extract_eastus_week0007.csv"
+
+    def test_ordering(self):
+        assert ExtractKey("a", 1) < ExtractKey("b", 0)
