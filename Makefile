@@ -1,0 +1,24 @@
+# Convenience targets mirroring .github/workflows/ci.yml.
+
+.PHONY: ci lint test bench-smoke fleet-demo
+
+## Run every CI gate locally (lint + tests + benchmark smoke).
+ci:
+	bash scripts/ci.sh
+
+## Ruff critical-error gate (requires ruff; CI installs it).
+lint:
+	ruff check .
+
+## Full test suite.
+test:
+	python -m pytest -x -q
+
+## Quick benchmark smoke: the jobs CI runs on every PR.
+bench-smoke:
+	python -m pytest benchmarks -q -k "classification or fig12a"
+
+## Fleet orchestrator demo: cold + warm-cache run over a synthetic fleet.
+fleet-demo:
+	PYTHONPATH=src python -m repro.fleet_ops --servers 16,10,6 --weeks 2 \
+		--cache-dir .fleet-cache --rerun

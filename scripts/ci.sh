@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Local mirror of .github/workflows/ci.yml: run the same gates CI runs,
+# from a clean checkout, with no PYTHONPATH tweaks needed.
+#
+# Tools CI installs but a local environment may lack (ruff,
+# pytest-timeout) are detected and skipped with a notice, so the script
+# always exercises at least everything the local environment can.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== lint (ruff critical-error gate) =="
+if command -v ruff >/dev/null 2>&1; then
+    ruff check .
+elif python -m ruff --version >/dev/null 2>&1; then
+    python -m ruff check .
+else
+    echo "ruff not installed locally; skipping (the CI lint job runs it)"
+fi
+
+echo
+echo "== test suite =="
+python -m pytest tests -x -q
+
+echo
+echo "== benchmark smoke =="
+timeout_flag=""
+if python -c "import pytest_timeout" >/dev/null 2>&1; then
+    timeout_flag="--timeout=300"
+fi
+python -m pytest benchmarks -q -k "classification or fig12a" ${timeout_flag}
+
+echo
+echo "All CI-equivalent checks passed."

@@ -37,12 +37,14 @@ from repro.core.pipeline import PipelineRunResult, SeagullPipeline
 from repro.core.registry import ModelRegistry
 from repro.core.scheduler import PipelineScheduler
 from repro.features.classification import ServerClassLabel, classify_frame, classify_server
+from repro.fleet_ops import FleetOrchestrator, FleetReport, populate_lake
 from repro.metrics.bucket_ratio import ErrorBound, bucket_ratio, is_accurate_prediction
 from repro.metrics.evaluation import AccuracyEvaluationModule
 from repro.metrics.ll_window import lowest_load_window, is_window_correctly_chosen
 from repro.models.registry import available_models, create_forecaster
 from repro.scheduling.backup import BackupScheduler
 from repro.scheduling.impact import BackupImpactAnalyzer
+from repro.storage.artifacts import ArtifactStore
 from repro.storage.datalake import DataLakeStore, ExtractKey
 from repro.storage.documentdb import DocumentStore
 from repro.telemetry.fleet import FleetSpec, RegionSpec, default_fleet_spec, sql_database_fleet_spec
@@ -83,4 +85,8 @@ __all__ = [
     "PipelineScheduler",
     "BackupScheduler",
     "BackupImpactAnalyzer",
+    "ArtifactStore",
+    "FleetOrchestrator",
+    "FleetReport",
+    "populate_lake",
 ]

@@ -19,6 +19,13 @@ One run of the pipeline processes one weekly extract of one region:
 
 Component runtimes are recorded per run, which is exactly the data behind
 Figure 12(a).
+
+The heavy stages (feature extraction, model training + inference, accuracy
+evaluation) have stable inputs and outputs and can be served from an
+:class:`~repro.storage.artifacts.ArtifactStore`: when the extract content
+hash and the relevant configuration are unchanged since a previous run,
+the stage output is decoded from the cache instead of recomputed.  Cache
+decisions are recorded per stage in ``PipelineRunResult.cache_events``.
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ import itertools
 import time
 from dataclasses import dataclass, field
 
+from repro.core import stage_cache
 from repro.core.config import PipelineConfig
 from repro.core.dashboard import Dashboard
 from repro.core.endpoints import ScoringEndpoint
@@ -41,8 +49,10 @@ from repro.metrics.evaluation import (
 )
 from repro.metrics.predictable import PredictabilityVerdict
 from repro.models.base import ForecastError, Forecaster
+from repro.models.cached import PrecomputedForecaster
 from repro.models.registry import create_forecaster
 from repro.parallel.executor import PartitionedExecutor
+from repro.storage.artifacts import ArtifactStore, artifact_key
 from repro.storage.datalake import DataLakeStore, ExtractKey
 from repro.storage.documentdb import DocumentStore
 from repro.timeseries.calendar import MINUTES_PER_DAY, day_index, points_per_day
@@ -84,6 +94,9 @@ class PipelineRunResult:
     endpoint: ScoringEndpoint | None = None
     timings: dict[str, float] = field(default_factory=dict)
     fell_back: bool = False
+    #: Per-stage artifact-cache decisions: ``"hit"`` or ``"miss"``; empty
+    #: when the pipeline runs without an artifact cache.
+    cache_events: dict[str, str] = field(default_factory=dict)
 
     def timing(self, component: str) -> float:
         """Runtime of one component in seconds (0.0 if it did not run)."""
@@ -105,7 +118,17 @@ class PipelineRunResult:
             "n_predictions": len(self.predictions),
             "n_predictable": sum(1 for v in self.predictability.values() if v.predictable),
             "fell_back": self.fell_back,
+            "cache_events": dict(self.cache_events),
         }
+
+
+@dataclass
+class _DeployableModels:
+    """Output of the train/infer stage handed to deployment and evaluation."""
+
+    forecasters: dict[str, Forecaster]
+    eval_predictions: dict[str, LoadSeries]
+    eval_days: dict[str, list[int]]
 
 
 class SeagullPipeline:
@@ -121,6 +144,8 @@ class SeagullPipeline:
         model_registry: ModelRegistry | None = None,
         incident_manager: IncidentManager | None = None,
         dashboard: Dashboard | None = None,
+        artifact_cache: ArtifactStore | None = None,
+        executor: PartitionedExecutor | None = None,
     ) -> None:
         self._config = config if config is not None else PipelineConfig()
         self._lake = data_lake
@@ -132,6 +157,7 @@ class SeagullPipeline:
         )
         self._incidents = incident_manager if incident_manager is not None else IncidentManager()
         self._dashboard = dashboard if dashboard is not None else Dashboard()
+        self._artifacts = artifact_cache
         # Data properties are deduced per region (Section 2.4): region sizes
         # and load distributions differ, so each region gets its own
         # validation module bootstrapped from its first extract.
@@ -140,7 +166,13 @@ class SeagullPipeline:
             bound=self._config.error_bound,
             accuracy_threshold=self._config.accuracy_threshold,
         )
-        executor = PartitionedExecutor(self._config.executor_backend, self._config.n_workers)
+        # An injected executor is shared with (and owned by) the caller --
+        # the fleet orchestrator reuses one worker pool across many runs
+        # instead of paying pool start-up per pipeline.
+        self._owns_executor = executor is None
+        if executor is None:
+            executor = PartitionedExecutor(self._config.executor_backend, self._config.n_workers)
+        self._executor = executor
         self._evaluator = AccuracyEvaluationModule(
             bound=self._config.error_bound,
             accuracy_threshold=self._config.accuracy_threshold,
@@ -168,6 +200,27 @@ class SeagullPipeline:
     @property
     def dashboard(self) -> Dashboard:
         return self._dashboard
+
+    @property
+    def artifact_cache(self) -> ArtifactStore | None:
+        return self._artifacts
+
+    def close(self) -> None:
+        """Release the evaluation worker pool if this pipeline created it.
+
+        Injected executors belong to the caller and are left running.
+        Serial pipelines (the default) never create a pool, so closing is
+        only required for long-lived processes that construct many
+        pipelines with parallel backends.
+        """
+        if self._owns_executor:
+            self._executor.close()
+
+    def __enter__(self) -> "SeagullPipeline":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # Entry points
@@ -214,10 +267,31 @@ class SeagullPipeline:
     # ------------------------------------------------------------------ #
 
     def _run_internal(self, frame: LoadFrame, result: PipelineRunResult) -> PipelineRunResult:
-        region = result.region
-        config = self._config
+        if not self._stage_validation(frame, result):
+            self._emit_summary(result)
+            return result
+        # One content hash per run keys every cacheable stage; it is only
+        # computed when a cache is attached (hashing is cheap relative to
+        # any stage, but not free).
+        content_hash = frame.content_hash() if self._artifacts is not None else ""
+        self._stage_features(frame, result, content_hash)
+        deployed = self._stage_train_infer(frame, result, content_hash)
+        self._stage_deploy(result, deployed.forecasters)
+        self._stage_evaluate(frame, result, content_hash, deployed)
+        self._stage_track_accuracy(result)
 
-        # -------------------- Data validation -------------------------- #
+        result.succeeded = True
+        self._persist(result)
+        self._emit_summary(result)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Stages
+    # ------------------------------------------------------------------ #
+
+    def _stage_validation(self, frame: LoadFrame, result: PipelineRunResult) -> bool:
+        """Validate the frame; returns whether the run may proceed."""
+        region = result.region
         started = time.perf_counter()
         validator = self._validators.setdefault(region, DataValidationModule())
         validation = validator.validate(frame)
@@ -231,18 +305,91 @@ class SeagullPipeline:
                 region=region,
             )
             result.abort_reason = "invalid input data"
-            self._emit_summary(result)
-            return result
+            return False
+        return True
 
-        # -------------------- Feature extraction ----------------------- #
+    def _cache_lookup(
+        self,
+        stage: str,
+        content_hash: str,
+        params: dict[str, object],
+        result: PipelineRunResult,
+    ) -> tuple[str | None, dict[str, object] | None]:
+        """Consult the artifact cache for one stage; records the event."""
+        if self._artifacts is None:
+            return None, None
+        key = artifact_key(stage, content_hash, params)
+        payload = self._artifacts.get(key)
+        result.cache_events[stage] = "hit" if payload is not None else "miss"
+        return key, payload
+
+    def _cache_store(self, key: str | None, payload: dict[str, object]) -> None:
+        if self._artifacts is not None and key is not None:
+            self._artifacts.put(key, payload)
+
+    def _stage_features(
+        self, frame: LoadFrame, result: PipelineRunResult, content_hash: str
+    ) -> None:
+        """Feature extraction, served from the artifact cache when possible."""
         started = time.perf_counter()
-        result.features = self._feature_extractor.extract_frame(frame)
+        key, payload = self._cache_lookup(
+            stage_cache.STAGE_FEATURES,
+            content_hash,
+            stage_cache.features_params(self._config),
+            result,
+        )
+        features: dict[str, ServerFeatures] | None = None
+        if payload is not None:
+            try:
+                features = stage_cache.decode_features(payload)
+            except Exception:
+                result.cache_events[stage_cache.STAGE_FEATURES] = "miss"
+                features = None
+        if features is None:
+            features = self._feature_extractor.extract_frame(frame)
+            if key is not None:
+                self._cache_store(key, stage_cache.encode_features(features))
+        result.features = features
         result.classification = ClassificationResult(
-            labels={server_id: features.label for server_id, features in result.features.items()}
+            labels={server_id: f.label for server_id, f in features.items()}
         )
         result.timings["feature_extraction"] = time.perf_counter() - started
 
-        # -------------------- Training and inference ------------------- #
+    def _stage_train_infer(
+        self, frame: LoadFrame, result: PipelineRunResult, content_hash: str
+    ) -> "_DeployableModels":
+        """Per-server model fitting and backup-day inference.
+
+        On a cache hit the fitted models are not re-created; the cached
+        backup-day predictions are wrapped in
+        :class:`~repro.models.cached.PrecomputedForecaster` instances so the
+        deployed endpoint serves identical values.
+        """
+        config = self._config
+        started = time.perf_counter()
+        key, payload = self._cache_lookup(
+            stage_cache.STAGE_TRAIN_INFER,
+            content_hash,
+            stage_cache.train_infer_params(config),
+            result,
+        )
+        if payload is not None:
+            try:
+                backup_days, predictions, eval_predictions, eval_days = (
+                    stage_cache.decode_train_infer(payload)
+                )
+                result.backup_days = backup_days
+                result.predictions = predictions
+                forecasters: dict[str, Forecaster] = {
+                    server_id: PrecomputedForecaster(prediction, config.model_name)
+                    for server_id, prediction in predictions.items()
+                }
+                result.timings["model_training"] = time.perf_counter() - started
+                result.timings["inference"] = 0.0
+                return _DeployableModels(forecasters, eval_predictions, eval_days)
+            except Exception:
+                result.cache_events[stage_cache.STAGE_TRAIN_INFER] = "miss"
+
         points_day = points_per_day(config.interval_minutes)
         training_minutes = config.training_days * MINUTES_PER_DAY
         min_history_minutes = config.min_history_days * MINUTES_PER_DAY
@@ -298,42 +445,95 @@ class SeagullPipeline:
 
         result.timings["model_training"] = training_seconds
         result.timings["inference"] = inference_seconds
+        if key is not None:
+            self._cache_store(
+                key,
+                stage_cache.encode_train_infer(
+                    result.backup_days, result.predictions, eval_predictions, eval_days
+                ),
+            )
+        return _DeployableModels(deployed_forecasters, eval_predictions, eval_days)
 
-        # -------------------- Model deployment ------------------------- #
+    def _stage_deploy(
+        self, result: PipelineRunResult, forecasters: dict[str, Forecaster]
+    ) -> None:
+        """Register the new model version and expose the scoring endpoint."""
+        config = self._config
         started = time.perf_counter()
         record = self._registry.deploy(
-            region=region,
+            region=result.region,
             model_name=config.model_name,
             trained_week=result.week,
             notes=f"run {result.run_id}",
         )
         endpoint = ScoringEndpoint(
-            region=region,
+            region=result.region,
             model_name=config.model_name,
             version=record.version,
-            forecasters=deployed_forecasters,
+            forecasters=forecasters,
         )
         result.model_record = record
         result.endpoint = endpoint
         result.timings["model_deployment"] = time.perf_counter() - started
 
-        # -------------------- Accuracy evaluation ---------------------- #
+    def _stage_evaluate(
+        self,
+        frame: LoadFrame,
+        result: PipelineRunResult,
+        content_hash: str,
+        deployed: "_DeployableModels",
+    ) -> None:
+        """Historical accuracy evaluation and predictability verdicts."""
+        config = self._config
         started = time.perf_counter()
-        result.evaluations = self._evaluator.evaluate(frame, eval_predictions, eval_days)
+        key, payload = self._cache_lookup(
+            stage_cache.STAGE_EVALUATION,
+            content_hash,
+            stage_cache.evaluation_params(config),
+            result,
+        )
+        if payload is not None:
+            try:
+                evaluations, summary, predictability = stage_cache.decode_evaluation(payload)
+                result.evaluations = evaluations
+                result.summary = summary
+                result.predictability = predictability
+                result.timings["accuracy_evaluation"] = time.perf_counter() - started
+                return
+            except Exception:
+                result.cache_events[stage_cache.STAGE_EVALUATION] = "miss"
+        result.evaluations = self._evaluator.evaluate(
+            frame, deployed.eval_predictions, deployed.eval_days
+        )
         result.summary = self._evaluator.summarize(
             result.evaluations, required_days=config.history_weeks
         )
         result.predictability = self._evaluator.predictability(
-            frame, eval_predictions, eval_days, required_days=config.history_weeks
+            frame, deployed.eval_predictions, deployed.eval_days,
+            required_days=config.history_weeks,
         )
         result.timings["accuracy_evaluation"] = time.perf_counter() - started
+        if key is not None:
+            self._cache_store(
+                key,
+                stage_cache.encode_evaluation(
+                    result.evaluations, result.summary, result.predictability
+                ),
+            )
 
-        # -------------------- Accuracy tracking and fallback ----------- #
+    def _stage_track_accuracy(self, result: PipelineRunResult) -> None:
+        """Record evaluated accuracy; fall back on regression (Section 2.2)."""
+        config = self._config
+        region = result.region
+        record = result.model_record
         accuracy = result.summary.pct_windows_correct if result.summary else float("nan")
-        try:
-            result.model_record = self._registry.record_accuracy(region, record.version, accuracy)
-        except DeploymentError:
-            pass
+        if record is not None:
+            try:
+                result.model_record = self._registry.record_accuracy(
+                    region, record.version, accuracy
+                )
+            except DeploymentError:
+                pass
         if (
             config.fallback_on_regression
             and accuracy == accuracy  # not NaN
@@ -363,11 +563,6 @@ class SeagullPipeline:
                     ),
                     region=region,
                 )
-
-        result.succeeded = True
-        self._persist(result)
-        self._emit_summary(result)
-        return result
 
     # ------------------------------------------------------------------ #
     # Helpers

@@ -67,6 +67,26 @@ class ServerFeatures:
             "backup_duration_minutes": self.backup_duration_minutes,
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "ServerFeatures":
+        """Inverse of :meth:`as_dict` (used by the artifact cache)."""
+        return cls(
+            server_id=str(payload["server_id"]),
+            region=str(payload["region"]),
+            engine=str(payload["engine"]),
+            lifespan_days=float(payload["lifespan_days"]),
+            mean_load=float(payload["mean_load"]),
+            std_load=float(payload["std_load"]),
+            max_load=float(payload["max_load"]),
+            stability_ratio=float(payload["stability_ratio"]),
+            daily_pattern_strength=float(payload["daily_pattern_strength"]),
+            weekly_pattern_strength=float(payload["weekly_pattern_strength"]),
+            label=ServerClassLabel(payload["label"]),
+            is_busy=bool(payload["is_busy"]),
+            reaches_capacity=bool(payload["reaches_capacity"]),
+            backup_duration_minutes=int(payload["backup_duration_minutes"]),
+        )
+
 
 class FeatureExtractionModule:
     """Extracts :class:`ServerFeatures` for every server of a frame."""

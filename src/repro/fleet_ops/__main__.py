@@ -1,0 +1,8 @@
+"""``python -m repro.fleet_ops`` dispatch."""
+
+import sys
+
+from repro.fleet_ops.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

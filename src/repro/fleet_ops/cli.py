@@ -1,0 +1,131 @@
+"""Command-line entry point: ``python -m repro.fleet_ops``.
+
+Generates (or reuses) a synthetic multi-region lake, runs the fleet
+orchestrator over every ``(region, week)`` extract, and prints the
+consolidated fleet report.  ``--rerun`` runs the fleet twice to show the
+artifact cache at work (the second pass serves unchanged extracts from
+the unit-outcome cache).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+
+from repro.core.config import PipelineConfig
+from repro.fleet_ops.orchestrator import FleetOrchestrator
+from repro.fleet_ops.synthesis import populate_lake
+from repro.storage.datalake import DataLakeStore
+from repro.telemetry.fleet import default_fleet_spec
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fleet_ops",
+        description="Run the Seagull pipeline over a multi-region fleet of weekly extracts.",
+    )
+    parser.add_argument(
+        "--servers",
+        default="24,16,10",
+        help="comma-separated servers per region (one region per entry)",
+    )
+    parser.add_argument("--weeks", type=int, default=2, help="weekly extracts per region")
+    parser.add_argument(
+        "--horizon-weeks",
+        type=int,
+        default=4,
+        help="weeks of telemetry inside each extract (the pipeline needs the "
+        "training window plus history_weeks prior backup days)",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="fleet generator seed")
+    parser.add_argument(
+        "--model",
+        default="persistent_previous_day",
+        help="forecaster to train per server",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("serial", "threads", "processes"),
+        default="serial",
+        help="how (region, week) units are sharded",
+    )
+    parser.add_argument("--workers", type=int, default=None, help="worker count")
+    parser.add_argument(
+        "--lake-dir",
+        default=None,
+        help="directory for the extract lake (default: a temporary directory)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for per-unit artifact caches (default: caching off)",
+    )
+    parser.add_argument(
+        "--rerun",
+        action="store_true",
+        help="run the fleet twice to demonstrate warm-cache speedup",
+    )
+    parser.add_argument("--json", action="store_true", help="emit the report as JSON")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        servers = tuple(int(part) for part in args.servers.split(",") if part.strip())
+    except ValueError:
+        print(f"invalid --servers value: {args.servers!r}", file=sys.stderr)
+        return 2
+    if not servers or any(count <= 0 for count in servers):
+        print("--servers needs positive integers", file=sys.stderr)
+        return 2
+    if args.weeks < 1:
+        print("--weeks must be at least 1", file=sys.stderr)
+        return 2
+    if args.rerun and args.cache_dir is None:
+        print("--rerun without --cache-dir would just repeat the work", file=sys.stderr)
+        return 2
+
+    spec = default_fleet_spec(
+        servers_per_region=servers, weeks=args.horizon_weeks, seed=args.seed
+    )
+    config = PipelineConfig(model_name=args.model)
+
+    lake_dir = args.lake_dir
+    temp_holder: tempfile.TemporaryDirectory[str] | None = None
+    if lake_dir is None:
+        temp_holder = tempfile.TemporaryDirectory(prefix="seagull-lake-")
+        lake_dir = temp_holder.name
+    try:
+        lake = DataLakeStore(lake_dir)
+        keys = populate_lake(lake, spec, weeks=range(args.weeks))
+        with FleetOrchestrator(
+            lake,
+            config=config,
+            backend=args.backend,
+            n_workers=args.workers,
+            cache_dir=args.cache_dir,
+        ) as orchestrator:
+            report = orchestrator.run(keys)
+            rerun_report = orchestrator.run(keys) if args.rerun else None
+
+        if args.json:
+            payload = {"run": report.as_dict()}
+            if rerun_report is not None:
+                payload["rerun"] = rerun_report.as_dict()
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(report.render_text())
+            if rerun_report is not None:
+                print()
+                print("=== warm re-run ===")
+                print(rerun_report.render_text())
+                if rerun_report.wall_seconds > 0:
+                    speedup = report.wall_seconds / rerun_report.wall_seconds
+                    print(f"Warm-cache speedup: {speedup:.1f}x")
+        return 0 if report.n_failed == 0 else 1
+    finally:
+        if temp_holder is not None:
+            temp_holder.cleanup()

@@ -1,0 +1,269 @@
+"""Consolidated fleet report: the multi-region analogue of Figures 12a/13.
+
+One pipeline run reports component runtimes for one region-week (Figure
+12(a)) and predictability for its servers (Figure 13's inputs).  The fleet
+report rolls those up across every ``(region, week)`` unit the
+orchestrator processed: per-region component runtimes, a fleet-wide
+predictability verdict rollup, an incident rollup and artifact-cache
+activity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.pipeline import PIPELINE_COMPONENTS
+
+
+@dataclass(frozen=True)
+class FleetUnitOutcome:
+    """Picklable, JSON-serializable result of one ``(region, week)`` unit."""
+
+    region: str
+    week: int
+    run_id: str
+    succeeded: bool
+    abort_reason: str
+    timings: dict[str, float]
+    summary: dict[str, float] | None
+    n_servers: int
+    n_predictions: int
+    n_predictable: int
+    incidents: list[dict[str, Any]]
+    cache_events: dict[str, str]
+    wall_seconds: float
+    #: Whether the whole unit was served from the outcome cache.
+    from_unit_cache: bool = False
+
+    def as_cache_hit(self, wall_seconds: float) -> "FleetUnitOutcome":
+        """This outcome as served from the unit cache on a later run.
+
+        ``timings`` keep the original compute cost (useful for capacity
+        reports); ``wall_seconds`` is what the warm run actually spent.
+        """
+        return FleetUnitOutcome(
+            region=self.region,
+            week=self.week,
+            run_id=self.run_id,
+            succeeded=self.succeeded,
+            abort_reason=self.abort_reason,
+            timings=dict(self.timings),
+            summary=dict(self.summary) if self.summary is not None else None,
+            n_servers=self.n_servers,
+            n_predictions=self.n_predictions,
+            n_predictable=self.n_predictable,
+            incidents=list(self.incidents),
+            cache_events={"unit_outcome": "hit"},
+            wall_seconds=wall_seconds,
+            from_unit_cache=True,
+        )
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "region": self.region,
+            "week": self.week,
+            "run_id": self.run_id,
+            "succeeded": self.succeeded,
+            "abort_reason": self.abort_reason,
+            "timings": dict(self.timings),
+            "summary": dict(self.summary) if self.summary is not None else None,
+            "n_servers": self.n_servers,
+            "n_predictions": self.n_predictions,
+            "n_predictable": self.n_predictable,
+            "incidents": list(self.incidents),
+            "cache_events": dict(self.cache_events),
+            "wall_seconds": self.wall_seconds,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "FleetUnitOutcome":
+        summary = payload["summary"]
+        return cls(
+            region=str(payload["region"]),
+            week=int(payload["week"]),
+            run_id=str(payload["run_id"]),
+            succeeded=bool(payload["succeeded"]),
+            abort_reason=str(payload["abort_reason"]),
+            timings={k: float(v) for k, v in payload["timings"].items()},
+            summary={k: float(v) for k, v in summary.items()} if summary is not None else None,
+            n_servers=int(payload["n_servers"]),
+            n_predictions=int(payload["n_predictions"]),
+            n_predictable=int(payload["n_predictable"]),
+            incidents=[dict(incident) for incident in payload["incidents"]],
+            cache_events={k: str(v) for k, v in payload["cache_events"].items()},
+            wall_seconds=float(payload["wall_seconds"]),
+        )
+
+
+@dataclass
+class FleetReport:
+    """Everything one orchestrator run produced, consolidated."""
+
+    outcomes: list[FleetUnitOutcome]
+    backend: str
+    n_workers: int
+    wall_seconds: float
+    _by_region: dict[str, list[FleetUnitOutcome]] = field(
+        init=False, repr=False, default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        for outcome in self.outcomes:
+            self._by_region.setdefault(outcome.region, []).append(outcome)
+
+    # ------------------------------------------------------------------ #
+    # Totals
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_units(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def n_succeeded(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.succeeded)
+
+    @property
+    def n_failed(self) -> int:
+        return self.n_units - self.n_succeeded
+
+    def regions(self) -> list[str]:
+        return sorted(self._by_region)
+
+    # ------------------------------------------------------------------ #
+    # Figure 12(a) analogue: per-region component runtimes
+    # ------------------------------------------------------------------ #
+
+    def per_region_component_seconds(self) -> dict[str, dict[str, float]]:
+        """Summed component runtimes per region across its weekly units."""
+        table: dict[str, dict[str, float]] = {}
+        for region in self.regions():
+            totals = dict.fromkeys(PIPELINE_COMPONENTS, 0.0)
+            for outcome in self._by_region[region]:
+                for component, seconds in outcome.timings.items():
+                    totals[component] = totals.get(component, 0.0) + seconds
+            table[region] = totals
+        return table
+
+    def per_region_summary(self) -> dict[str, dict[str, Any]]:
+        """Per-region rollup: units, servers, predictability, runtime."""
+        table: dict[str, dict[str, Any]] = {}
+        for region in self.regions():
+            outcomes = self._by_region[region]
+            n_servers = sum(o.n_servers for o in outcomes)
+            n_predictable = sum(o.n_predictable for o in outcomes)
+            table[region] = {
+                "units": len(outcomes),
+                "succeeded": sum(1 for o in outcomes if o.succeeded),
+                "n_servers": n_servers,
+                "n_predictions": sum(o.n_predictions for o in outcomes),
+                "n_predictable": n_predictable,
+                "pct_predictable": 100.0 * n_predictable / n_servers if n_servers else 0.0,
+                "compute_seconds": sum(sum(o.timings.values()) for o in outcomes),
+                "wall_seconds": sum(o.wall_seconds for o in outcomes),
+                "units_from_cache": sum(1 for o in outcomes if o.from_unit_cache),
+            }
+        return table
+
+    # ------------------------------------------------------------------ #
+    # Figure 13 analogue: fleet predictability rollup
+    # ------------------------------------------------------------------ #
+
+    def predictability_rollup(self) -> dict[str, float]:
+        n_servers = sum(o.n_servers for o in self.outcomes)
+        n_predictable = sum(o.n_predictable for o in self.outcomes)
+        return {
+            "n_servers": n_servers,
+            "n_predictions": sum(o.n_predictions for o in self.outcomes),
+            "n_predictable": n_predictable,
+            "pct_predictable": 100.0 * n_predictable / n_servers if n_servers else 0.0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Incidents and cache activity
+    # ------------------------------------------------------------------ #
+
+    def incident_rollup(self) -> dict[str, dict[str, int]]:
+        """Incident counts by severity and by source across all units."""
+        by_severity: dict[str, int] = {}
+        by_source: dict[str, int] = {}
+        for outcome in self.outcomes:
+            for incident in outcome.incidents:
+                severity = str(incident.get("severity", "unknown"))
+                source = str(incident.get("source", "unknown"))
+                by_severity[severity] = by_severity.get(severity, 0) + 1
+                by_source[source] = by_source.get(source, 0) + 1
+        return {"by_severity": by_severity, "by_source": by_source}
+
+    def cache_summary(self) -> dict[str, int]:
+        """Cache activity across units: unit-level and stage-level events."""
+        summary = {"unit_hits": 0, "stage_hits": 0, "stage_misses": 0}
+        for outcome in self.outcomes:
+            if outcome.from_unit_cache:
+                summary["unit_hits"] += 1
+            for stage, event in outcome.cache_events.items():
+                if stage == "unit_outcome":
+                    continue
+                if event == "hit":
+                    summary["stage_hits"] += 1
+                elif event == "miss":
+                    summary["stage_misses"] += 1
+        return summary
+
+    # ------------------------------------------------------------------ #
+    # Serialization and rendering
+    # ------------------------------------------------------------------ #
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "backend": self.backend,
+            "n_workers": self.n_workers,
+            "wall_seconds": self.wall_seconds,
+            "n_units": self.n_units,
+            "n_succeeded": self.n_succeeded,
+            "n_failed": self.n_failed,
+            "per_region": self.per_region_summary(),
+            "per_region_component_seconds": self.per_region_component_seconds(),
+            "predictability": self.predictability_rollup(),
+            "incidents": self.incident_rollup(),
+            "cache": self.cache_summary(),
+            "outcomes": [outcome.to_payload() for outcome in self.outcomes],
+        }
+
+    def render_text(self) -> str:
+        """Human-readable fleet report (the CLI's default output)."""
+        lines: list[str] = []
+        lines.append(
+            f"Fleet run: {self.n_units} units ({self.n_succeeded} ok, "
+            f"{self.n_failed} failed) on backend={self.backend} "
+            f"workers={self.n_workers} in {self.wall_seconds:.2f}s"
+        )
+        lines.append("")
+        header = f"{'region':<14}{'units':>6}{'servers':>9}{'predictable':>13}{'compute s':>11}{'cached':>8}"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for region, row in self.per_region_summary().items():
+            lines.append(
+                f"{region:<14}{row['units']:>6}{row['n_servers']:>9}"
+                f"{row['pct_predictable']:>12.1f}%{row['compute_seconds']:>11.2f}"
+                f"{row['units_from_cache']:>8}"
+            )
+        rollup = self.predictability_rollup()
+        lines.append("")
+        lines.append(
+            f"Fleet predictability: {rollup['n_predictable']}/{rollup['n_servers']} "
+            f"servers ({rollup['pct_predictable']:.1f}%)"
+        )
+        incidents = self.incident_rollup()["by_severity"]
+        if incidents:
+            rendered = ", ".join(f"{sev}={count}" for sev, count in sorted(incidents.items()))
+            lines.append(f"Incidents: {rendered}")
+        else:
+            lines.append("Incidents: none")
+        cache = self.cache_summary()
+        lines.append(
+            f"Cache: {cache['unit_hits']} unit hits, {cache['stage_hits']} stage hits, "
+            f"{cache['stage_misses']} stage misses"
+        )
+        return "\n".join(lines)

@@ -70,6 +70,24 @@ class ServerDayEvaluation:
             "failure_reason": self.failure_reason,
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "ServerDayEvaluation":
+        """Inverse of :meth:`as_dict` (used by the artifact cache)."""
+        return cls(
+            server_id=str(payload["server_id"]),
+            day=int(payload["day"]),
+            window_correct=bool(payload["window_correct"]),
+            load_accurate=bool(payload["load_accurate"]),
+            bucket_ratio_in_window=float(payload["bucket_ratio_in_window"]),
+            bucket_ratio_full_day=float(payload["bucket_ratio_full_day"]),
+            predicted_window_start=int(payload["predicted_window_start"]),
+            true_window_start=int(payload["true_window_start"]),
+            predicted_window_load=float(payload["predicted_window_load"]),
+            true_window_load=float(payload["true_window_load"]),
+            evaluable=bool(payload["evaluable"]),
+            failure_reason=str(payload["failure_reason"]),
+        )
+
 
 @dataclass(frozen=True)
 class EvaluationSummary:
@@ -99,6 +117,19 @@ class EvaluationSummary:
             "n_servers": self.n_servers,
             "n_predictable_servers": self.n_predictable_servers,
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, float]) -> "EvaluationSummary":
+        """Inverse of :meth:`as_dict` (used by the artifact cache)."""
+        return cls(
+            n_server_days=int(payload["n_server_days"]),
+            n_evaluable=int(payload["n_evaluable"]),
+            pct_windows_correct=float(payload["pct_windows_correct"]),
+            pct_load_accurate=float(payload["pct_load_accurate"]),
+            pct_predictable_servers=float(payload["pct_predictable_servers"]),
+            n_servers=int(payload["n_servers"]),
+            n_predictable_servers=int(payload["n_predictable_servers"]),
+        )
 
 
 def evaluate_server_day(

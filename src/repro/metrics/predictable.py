@@ -52,6 +52,19 @@ class PredictabilityVerdict:
             "reason": self.reason,
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "PredictabilityVerdict":
+        """Inverse of :meth:`as_dict` (used by the artifact cache)."""
+        return cls(
+            server_id=str(payload["server_id"]),
+            evaluated_days=tuple(int(day) for day in payload["evaluated_days"]),
+            window_correct_days=tuple(int(day) for day in payload["window_correct_days"]),
+            load_accurate_days=tuple(int(day) for day in payload["load_accurate_days"]),
+            required_days=int(payload["required_days"]),
+            predictable=bool(payload["predictable"]),
+            reason=str(payload["reason"]),
+        )
+
 
 def is_predictable_server(
     server_id: str,

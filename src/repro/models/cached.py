@@ -1,0 +1,64 @@
+"""Forecaster replaying a previously computed prediction.
+
+When the fleet orchestrator's artifact cache hits, the model-training stage
+is skipped entirely -- but the scoring endpoint still has to serve each
+server's backup-day prediction.  :class:`PrecomputedForecaster` fills that
+role: it wraps the cached prediction series and serves it point-for-point,
+so a cache-hit deployment returns the same values as the run that
+originally fitted the models for every horizon up to the cached one.
+(Longer horizons raise :class:`ForecastError` rather than silently
+extrapolating -- a freshly fitted model could serve them, a cache
+cannot.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import ForecastError, Forecaster
+from repro.timeseries.series import LoadSeries
+
+
+class PrecomputedForecaster(Forecaster):
+    """Serves a fixed, previously computed prediction series.
+
+    The forecaster is "born fitted": construction takes the prediction it
+    will replay, and :meth:`predict` returns its leading ``n_points``
+    samples.  Asking for more points than were cached raises
+    :class:`ForecastError` (the cache never extrapolates).
+    """
+
+    name = "precomputed"
+    requires_training = False
+
+    def __init__(self, prediction: LoadSeries, source_model: str = "") -> None:
+        super().__init__()
+        if prediction.is_empty:
+            raise ForecastError("cannot replay an empty prediction")
+        self._prediction = prediction
+        self._source_model = source_model
+
+    @property
+    def source_model(self) -> str:
+        """Name of the model that originally produced the prediction."""
+        return self._source_model
+
+    def predict(self, n_points: int) -> LoadSeries:
+        if n_points <= 0:
+            raise ValueError("n_points must be positive")
+        if n_points > len(self._prediction):
+            raise ForecastError(
+                f"precomputed prediction holds {len(self._prediction)} points, "
+                f"{n_points} requested"
+            )
+        start = self._prediction.start
+        end = start + n_points * self._prediction.interval_minutes
+        return self._prediction.slice(start, end)
+
+    # The base-class hooks are unused: the forecaster is constructed fitted
+    # and refitting it would discard the cached prediction.
+    def _fit(self, history: LoadSeries) -> None:
+        raise ForecastError("a precomputed forecaster cannot be refit")
+
+    def _predict_values(self, n_points: int) -> np.ndarray:  # pragma: no cover
+        return self._prediction.values[:n_points]

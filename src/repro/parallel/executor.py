@@ -5,6 +5,11 @@ server, a pure function is mapped over partitions, and the results are
 concatenated.  The serial backend is the baseline the paper compares
 against in Figure 12(b); the process backend is the Dask-equivalent
 parallel path.
+
+Worker pools are created lazily on first use and *reused* across ``map``
+calls, so an executor shared by many pipeline runs (the fleet orchestrator
+does exactly this) pays the pool start-up cost once instead of per call.
+Executors are context managers; ``close()`` releases the pool.
 """
 
 from __future__ import annotations
@@ -13,12 +18,30 @@ import enum
 import os
 import time
 from collections.abc import Callable, Sequence
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
+from types import TracebackType
 from typing import TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+def default_worker_count() -> int:
+    """Best available worker-count default for this host.
+
+    Prefers the scheduling affinity (the CPUs this process may actually
+    use, which can be fewer than the machine has in containers), falls back
+    to ``os.cpu_count()``, and finally to 1 when the platform reports
+    nothing at all (``os.cpu_count()`` may return ``None``).
+    """
+    try:
+        affinity = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        affinity = 0
+    if affinity > 0:
+        return affinity
+    return os.cpu_count() or 1
 
 
 class ExecutionBackend(enum.Enum):
@@ -54,7 +77,13 @@ class PartitionedExecutor:
         multi-worker scheduler; the mapped function and its arguments must
         be picklable).
     n_workers:
-        Worker count for the parallel backends; defaults to the CPU count.
+        Worker count for the parallel backends; defaults to the CPU count
+        (affinity-aware, and 1 when the platform reports no CPU count).
+
+    The parallel backends keep one worker pool alive across ``map`` calls.
+    Use the executor as a context manager, or call :meth:`close`, to shut
+    the pool down deterministically; an unclosed pool is reclaimed at
+    interpreter exit.
     """
 
     def __init__(
@@ -65,9 +94,10 @@ class PartitionedExecutor:
         if isinstance(backend, str):
             backend = ExecutionBackend(backend)
         self._backend = backend
-        cpu_count = os.cpu_count() or 1
-        self._n_workers = max(1, n_workers if n_workers is not None else cpu_count)
+        self._n_workers = max(1, n_workers if n_workers is not None else default_worker_count())
         self._last_report: ExecutionReport | None = None
+        self._pool: Executor | None = None
+        self._closed = False
 
     @property
     def backend(self) -> ExecutionBackend:
@@ -78,23 +108,63 @@ class PartitionedExecutor:
         return self._n_workers
 
     @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    @property
     def last_report(self) -> ExecutionReport | None:
         """Timing report of the most recent :meth:`map` call."""
         return self._last_report
 
+    # ------------------------------------------------------------------ #
+    # Pool lifecycle
+    # ------------------------------------------------------------------ #
+
+    def _ensure_pool(self) -> Executor:
+        """Create the backend pool on first use; reuse it afterwards."""
+        if self._pool is None:
+            if self._backend is ExecutionBackend.THREADS:
+                self._pool = ThreadPoolExecutor(max_workers=self._n_workers)
+            else:
+                self._pool = ProcessPoolExecutor(max_workers=self._n_workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._closed = True
+
+    def __enter__(self) -> "PartitionedExecutor":
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Mapping
+    # ------------------------------------------------------------------ #
+
     def map(self, fn: Callable[[T], R], partitions: Sequence[T]) -> list[R]:
         """Apply ``fn`` to every partition and return results in order."""
+        if self._closed:
+            raise RuntimeError("cannot map on a closed executor")
         start = time.perf_counter()
         if not partitions:
             results: list[R] = []
         elif self._backend is ExecutionBackend.SERIAL or len(partitions) == 1:
             results = [fn(partition) for partition in partitions]
-        elif self._backend is ExecutionBackend.THREADS:
-            with ThreadPoolExecutor(max_workers=self._n_workers) as pool:
-                results = list(pool.map(fn, partitions))
         else:
-            with ProcessPoolExecutor(max_workers=self._n_workers) as pool:
-                results = list(pool.map(fn, partitions))
+            results = list(self._ensure_pool().map(fn, partitions))
         elapsed = time.perf_counter() - start
         self._last_report = ExecutionReport(
             backend=self._backend,

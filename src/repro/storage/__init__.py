@@ -9,8 +9,12 @@
   document store playing the role of Cosmos DB: pipeline results, model
   records and scheduling decisions are persisted as keyed documents in
   named containers.
+* :class:`~repro.storage.artifacts.ArtifactStore` -- a content-addressed
+  cache of pipeline stage outputs keyed by extract content hash, which is
+  what lets fleet re-runs skip recomputation on unchanged extracts.
 """
 
+from repro.storage.artifacts import ArtifactCacheStats, ArtifactStore, artifact_key
 from repro.storage.csv_io import read_frame_csv, write_frame_csv
 from repro.storage.datalake import DataLakeStore, ExtractKey
 from repro.storage.documentdb import Document, DocumentStore
@@ -22,4 +26,7 @@ __all__ = [
     "ExtractKey",
     "DocumentStore",
     "Document",
+    "ArtifactStore",
+    "ArtifactCacheStats",
+    "artifact_key",
 ]

@@ -10,6 +10,7 @@ access rights to this data" knobs called out in Section 2.4.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -64,6 +65,11 @@ class DataLakeStore:
 
     # ------------------------------------------------------------------ #
 
+    @property
+    def root(self) -> Path | None:
+        """Filesystem root of the store (``None`` for in-memory stores)."""
+        return self._root
+
     def _check_access(self, principal: str | None) -> None:
         if self._granted is None:
             return
@@ -110,6 +116,41 @@ class DataLakeStore:
         if not path.exists():
             raise ExtractNotFoundError(f"no extract for {key}")
         return csv_io.read_frame_csv(path, interval_minutes)
+
+    def read_extract_text(self, key: ExtractKey, principal: str | None = None) -> str:
+        """Return the raw CSV text of the extract for ``key``."""
+        self._check_access(principal)
+        if self._root is None:
+            try:
+                return self._memory[key]
+            except KeyError as exc:
+                raise ExtractNotFoundError(f"no extract for {key}") from exc
+        path = self._path_for(key)
+        if not path.exists():
+            raise ExtractNotFoundError(f"no extract for {key}")
+        return path.read_text()
+
+    def extract_fingerprint(self, key: ExtractKey) -> str:
+        """Hex sha256 digest of the raw extract bytes.
+
+        Hashing the stored bytes is much cheaper than parsing the extract,
+        which lets the fleet orchestrator decide "unchanged since last
+        run?" without paying the ingestion cost.
+        """
+        digest = hashlib.sha256()
+        if self._root is None:
+            try:
+                digest.update(self._memory[key].encode("utf-8"))
+            except KeyError as exc:
+                raise ExtractNotFoundError(f"no extract for {key}") from exc
+            return digest.hexdigest()
+        path = self._path_for(key)
+        if not path.exists():
+            raise ExtractNotFoundError(f"no extract for {key}")
+        with path.open("rb") as handle:
+            for chunk in iter(lambda: handle.read(1 << 20), b""):
+                digest.update(chunk)
+        return digest.hexdigest()
 
     def has_extract(self, key: ExtractKey) -> bool:
         """Return whether an extract exists for ``key``."""

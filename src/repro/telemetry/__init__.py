@@ -26,6 +26,7 @@ from repro.telemetry.fleet import (
     RegionSpec,
     ServerClass,
     default_fleet_spec,
+    extract_spec,
     sql_database_fleet_spec,
 )
 from repro.telemetry.generator import WorkloadGenerator
@@ -39,6 +40,7 @@ __all__ = [
     "FLEET_CLASS_MIX",
     "SQL_STABLE_FRACTION",
     "default_fleet_spec",
+    "extract_spec",
     "sql_database_fleet_spec",
     "WorkloadGenerator",
     "RawTelemetryStore",

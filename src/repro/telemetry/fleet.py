@@ -15,7 +15,8 @@ second population.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+import zlib
+from dataclasses import dataclass, field, replace
 
 
 class ServerClass(enum.Enum):
@@ -128,6 +129,22 @@ def default_fleet_spec(
         for index, count in enumerate(servers_per_region)
     )
     return FleetSpec(regions=regions, weeks=weeks, seed=seed)
+
+
+def extract_spec(spec: FleetSpec, region: str, week: int) -> FleetSpec:
+    """Spec snapshot behind one ``(region, week)`` extract.
+
+    The fleet orchestrator processes many weekly extracts per region; each
+    extract is an independent telemetry snapshot, so its generator seed is
+    derived deterministically from the fleet seed, the region and the week.
+    Re-generating the same ``(region, week)`` yields byte-identical content
+    (which is what makes extract content hashes usable as cache keys),
+    while different regions or weeks get uncorrelated traces.
+    """
+    if week < 0:
+        raise ValueError("week must be non-negative")
+    salt = zlib.crc32(f"{region}|w{week}".encode())
+    return replace(spec, seed=(spec.seed * 1_000_003 + salt) % 2**31)
 
 
 def sql_database_fleet_spec(

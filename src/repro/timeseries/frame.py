@@ -8,6 +8,7 @@ analysis and the benchmark harness all consume and produce load frames.
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Callable, Iterable, Iterator, Mapping
 from dataclasses import dataclass, field, replace
 
@@ -135,6 +136,36 @@ class LoadFrame:
     def total_points(self) -> int:
         """Total number of telemetry samples across all servers."""
         return sum(len(record.series) for record in self._records.values())
+
+    def content_hash(self) -> str:
+        """Hex sha256 digest of the frame's full content.
+
+        Covers every server's metadata, timestamps and values plus the
+        sampling interval, independent of insertion order.  Two frames with
+        equal content hash are interchangeable as pipeline input, which is
+        what makes the digest usable as an artifact-cache key.
+        """
+        digest = hashlib.sha256()
+        digest.update(f"interval={self._interval}".encode())
+        for server_id in sorted(self._records):
+            record = self._records[server_id]
+            metadata = record.metadata
+            digest.update(
+                "|".join(
+                    (
+                        metadata.server_id,
+                        metadata.region,
+                        metadata.engine,
+                        str(metadata.default_backup_start),
+                        str(metadata.default_backup_end),
+                        str(metadata.backup_duration_minutes),
+                        metadata.true_class,
+                    )
+                ).encode()
+            )
+            digest.update(np.ascontiguousarray(record.series.timestamps).tobytes())
+            digest.update(np.ascontiguousarray(record.series.values).tobytes())
+        return digest.hexdigest()
 
     def regions(self) -> list[str]:
         """Distinct regions present, in first-seen order."""

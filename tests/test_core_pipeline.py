@@ -147,6 +147,147 @@ class TestPipelineWithOtherModels:
         assert result.succeeded
 
 
+class TestPipelineExecutorLifecycle:
+    def test_close_releases_owned_parallel_executor(self, fleet_frame):
+        pipeline = SeagullPipeline(PipelineConfig().with_executor("threads", 2))
+        with pipeline:
+            result = pipeline.run(fleet_frame, region="region-0", week=3)
+            assert result.succeeded
+        assert pipeline._executor.closed
+
+    def test_injected_executor_left_open(self, fleet_frame):
+        from repro.parallel.executor import PartitionedExecutor
+
+        executor = PartitionedExecutor("threads", 2)
+        with SeagullPipeline(PipelineConfig(), executor=executor) as pipeline:
+            pipeline.run(fleet_frame, region="region-0", week=3)
+        assert not executor.closed
+        executor.close()
+
+
+class TestArtifactCachedPipeline:
+    @pytest.fixture(scope="class")
+    def small_frame(self):
+        spec = default_fleet_spec(servers_per_region=(12,), weeks=4, seed=41)
+        return WorkloadGenerator(spec).generate_region("region-0")
+
+    def test_cold_run_misses_then_populates(self, small_frame):
+        from repro.storage.artifacts import ArtifactStore
+
+        cache = ArtifactStore()
+        pipeline = SeagullPipeline(PipelineConfig(), artifact_cache=cache)
+        result = pipeline.run(small_frame, region="region-0", week=3)
+        assert result.succeeded
+        assert result.cache_events == {
+            "features": "miss",
+            "train_infer": "miss",
+            "evaluation": "miss",
+        }
+        assert cache.stats.puts == 3
+
+    def test_warm_run_hits_every_stage(self, small_frame):
+        from repro.storage.artifacts import ArtifactStore
+
+        cache = ArtifactStore()
+        SeagullPipeline(PipelineConfig(), artifact_cache=cache).run(
+            small_frame, region="region-0", week=3
+        )
+        warm = SeagullPipeline(PipelineConfig(), artifact_cache=cache).run(
+            small_frame, region="region-0", week=3
+        )
+        assert warm.succeeded
+        assert warm.cache_events == {
+            "features": "hit",
+            "train_infer": "hit",
+            "evaluation": "hit",
+        }
+
+    def test_content_change_invalidates(self, small_frame):
+        from repro.storage.artifacts import ArtifactStore
+        from repro.timeseries.frame import LoadFrame as Frame
+
+        cache = ArtifactStore()
+        SeagullPipeline(PipelineConfig(), artifact_cache=cache).run(
+            small_frame, region="region-0", week=3
+        )
+        # Perturb one server's load: every stage must recompute.
+        changed = Frame(small_frame.interval_minutes)
+        for index, (sid, metadata, series) in enumerate(small_frame.items()):
+            if index == 0:
+                series = series.with_values(series.values + 1.0)
+            changed.add_server(metadata, series)
+        second = SeagullPipeline(PipelineConfig(), artifact_cache=cache).run(
+            changed, region="region-0", week=3
+        )
+        assert second.cache_events == {
+            "features": "miss",
+            "train_infer": "miss",
+            "evaluation": "miss",
+        }
+
+    def test_config_change_invalidates_model_stages_only(self, small_frame):
+        from repro.storage.artifacts import ArtifactStore
+
+        cache = ArtifactStore()
+        SeagullPipeline(PipelineConfig(), artifact_cache=cache).run(
+            small_frame, region="region-0", week=3
+        )
+        other_model = SeagullPipeline(
+            PipelineConfig().with_model("persistent_previous_week_average"), artifact_cache=cache
+        ).run(small_frame, region="region-0", week=3)
+        # Features do not depend on the forecaster, so they are reused.
+        assert other_model.cache_events["features"] == "hit"
+        assert other_model.cache_events["train_infer"] == "miss"
+        assert other_model.cache_events["evaluation"] == "miss"
+
+    def test_cached_outputs_identical_to_fresh(self, small_frame):
+        from repro.storage.artifacts import ArtifactStore, canonical_json
+
+        fresh = SeagullPipeline(PipelineConfig()).run(small_frame, region="region-0", week=3)
+        cache = ArtifactStore()
+        SeagullPipeline(PipelineConfig(), artifact_cache=cache).run(
+            small_frame, region="region-0", week=3
+        )
+        cached = SeagullPipeline(PipelineConfig(), artifact_cache=cache).run(
+            small_frame, region="region-0", week=3
+        )
+        assert cached.predictions == fresh.predictions
+        assert cached.backup_days == fresh.backup_days
+        assert cached.summary == fresh.summary
+        assert cached.predictability == fresh.predictability
+        # Evaluations may contain NaN fields; compare canonical JSON, which
+        # renders NaN consistently.
+        assert canonical_json([e.as_dict() for e in cached.evaluations]) == canonical_json(
+            [e.as_dict() for e in fresh.evaluations]
+        )
+        # The cache-hit endpoint serves the same forecasts.
+        for sid, prediction in fresh.predictions.items():
+            assert cached.endpoint.predict(sid, len(prediction)) == prediction
+
+    def test_corrupt_cache_entry_recomputes_without_crash(self, small_frame):
+        from repro.storage.artifacts import ARTIFACTS_CONTAINER, ArtifactStore
+        from repro.storage.documentdb import DocumentStore
+
+        backing = DocumentStore()
+        cache = ArtifactStore(backing)
+        SeagullPipeline(PipelineConfig(), artifact_cache=cache).run(
+            small_frame, region="region-0", week=3
+        )
+        # Corrupt every cached entry in place.
+        for document in list(backing.query(ARTIFACTS_CONTAINER)):
+            backing.upsert(ARTIFACTS_CONTAINER, document.id, {"garbage": True})
+        result = SeagullPipeline(PipelineConfig(), artifact_cache=cache).run(
+            small_frame, region="region-0", week=3
+        )
+        assert result.succeeded
+        assert result.cache_events == {
+            "features": "miss",
+            "train_infer": "miss",
+            "evaluation": "miss",
+        }
+        assert cache.stats.corrupt_entries == 3
+
+
 class TestEndToEndFromLake:
     def test_full_flow_extraction_to_scheduling(self):
         from repro.scheduling.backup import BackupScheduler

@@ -1,0 +1,382 @@
+"""Tests for the fleet orchestrator, its report and the CLI."""
+
+import json
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.fleet_ops.cli import main as fleet_main
+from repro.fleet_ops.orchestrator import FleetOrchestrator, unit_cache_path
+from repro.fleet_ops.report import FleetReport, FleetUnitOutcome
+from repro.fleet_ops.synthesis import populate_lake
+from repro.storage.datalake import DataLakeStore, ExtractKey
+from repro.telemetry.fleet import default_fleet_spec, extract_spec
+from repro.telemetry.generator import WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def fleet_spec():
+    return default_fleet_spec(servers_per_region=(8, 5), weeks=4, seed=13)
+
+
+@pytest.fixture(scope="module")
+def memory_lake(fleet_spec):
+    lake = DataLakeStore()
+    populate_lake(lake, fleet_spec, weeks=range(2))
+    return lake
+
+
+class TestExtractSynthesis:
+    def test_extract_spec_is_deterministic(self, fleet_spec):
+        assert extract_spec(fleet_spec, "region-0", 1) == extract_spec(fleet_spec, "region-0", 1)
+
+    def test_extract_spec_varies_by_region_and_week(self, fleet_spec):
+        seeds = {
+            extract_spec(fleet_spec, region, week).seed
+            for region in ("region-0", "region-1")
+            for week in (0, 1, 2)
+        }
+        assert len(seeds) == 6
+
+    def test_extract_spec_rejects_negative_week(self, fleet_spec):
+        with pytest.raises(ValueError):
+            extract_spec(fleet_spec, "region-0", -1)
+
+    def test_weekly_extract_content_is_reproducible(self, fleet_spec):
+        generator = WorkloadGenerator(fleet_spec)
+        first = generator.generate_weekly_extract("region-0", 0)
+        second = WorkloadGenerator(fleet_spec).generate_weekly_extract("region-0", 0)
+        assert first.content_hash() == second.content_hash()
+
+    def test_weekly_extracts_differ_across_weeks(self, fleet_spec):
+        generator = WorkloadGenerator(fleet_spec)
+        assert (
+            generator.generate_weekly_extract("region-0", 0).content_hash()
+            != generator.generate_weekly_extract("region-0", 1).content_hash()
+        )
+
+    def test_populate_lake_writes_every_unit(self, memory_lake, fleet_spec):
+        keys = memory_lake.list_extracts()
+        assert len(keys) == 4  # 2 regions x 2 weeks
+        for key in keys:
+            assert memory_lake.extract_fingerprint(key)
+
+    def test_populate_lake_skips_existing(self, fleet_spec):
+        lake = DataLakeStore()
+        first = populate_lake(lake, fleet_spec, weeks=[0])
+        fingerprints = {key: lake.extract_fingerprint(key) for key in first}
+        second = populate_lake(lake, fleet_spec, weeks=[0])
+        assert first == second
+        assert fingerprints == {key: lake.extract_fingerprint(key) for key in second}
+
+    def test_populate_lake_regenerates_on_spec_change(self, tmp_path):
+        from dataclasses import replace
+
+        spec = default_fleet_spec(servers_per_region=(4,), weeks=4, seed=1)
+        lake = DataLakeStore(tmp_path / "lake")
+        keys = populate_lake(lake, spec, weeks=[0])
+        before = lake.extract_fingerprint(keys[0])
+        # Same keys, different seed: stale extracts must be regenerated,
+        # not silently reused.
+        changed = populate_lake(lake, replace(spec, seed=2), weeks=[0])
+        assert changed == keys
+        assert lake.extract_fingerprint(keys[0]) != before
+        # And with the new spec recorded, a further call is a no-op again.
+        populate_lake(lake, replace(spec, seed=2), weeks=[0])
+        assert lake.extract_fingerprint(keys[0]) != before
+
+
+class TestOrchestratorRun:
+    @pytest.fixture(scope="class")
+    def report(self, memory_lake):
+        with FleetOrchestrator(memory_lake, PipelineConfig()) as orchestrator:
+            return orchestrator.run()
+
+    def test_all_units_processed(self, report):
+        assert report.n_units == 4
+        assert report.n_succeeded == 4
+        assert report.n_failed == 0
+
+    def test_per_region_rollup(self, report):
+        summary = report.per_region_summary()
+        assert set(summary) == {"region-0", "region-1"}
+        assert summary["region-0"]["units"] == 2
+        assert summary["region-0"]["n_servers"] == 16  # 8 servers x 2 weekly extracts
+        assert summary["region-1"]["n_servers"] == 10
+
+    def test_component_runtimes_present_per_region(self, report):
+        table = report.per_region_component_seconds()
+        for region_totals in table.values():
+            assert region_totals["model_training"] >= 0.0
+            assert region_totals["data_ingestion"] > 0.0
+
+    def test_predictability_rollup_counts(self, report):
+        rollup = report.predictability_rollup()
+        assert rollup["n_servers"] == 26
+        assert 0 <= rollup["n_predictable"] <= rollup["n_servers"]
+
+    def test_report_as_dict_is_json_serializable(self, report):
+        payload = json.dumps(report.as_dict())
+        assert "per_region" in payload
+
+    def test_render_text_mentions_each_region(self, report):
+        text = report.render_text()
+        assert "region-0" in text and "region-1" in text
+
+    def test_explicit_unit_subset(self, memory_lake):
+        with FleetOrchestrator(memory_lake, PipelineConfig()) as orchestrator:
+            report = orchestrator.run([ExtractKey("region-1", 0)])
+        assert report.n_units == 1
+        assert report.outcomes[0].region == "region-1"
+
+    def test_missing_extract_fails_unit_not_fleet(self, memory_lake):
+        with FleetOrchestrator(memory_lake, PipelineConfig()) as orchestrator:
+            report = orchestrator.run(
+                [ExtractKey("region-0", 0), ExtractKey("region-9", 7)]
+            )
+        assert report.n_units == 2
+        assert report.n_succeeded == 1
+        assert report.n_failed == 1
+        failed = [o for o in report.outcomes if not o.succeeded][0]
+        assert failed.region == "region-9"
+        assert report.incident_rollup()["by_severity"].get("critical") == 1
+
+    def test_executor_shared_across_runs(self, memory_lake):
+        orchestrator = FleetOrchestrator(memory_lake, PipelineConfig(), backend="threads")
+        try:
+            orchestrator.run([ExtractKey("region-0", 0), ExtractKey("region-1", 0)])
+            first_pool = orchestrator.executor._pool
+            orchestrator.run([ExtractKey("region-0", 0), ExtractKey("region-1", 0)])
+            assert orchestrator.executor._pool is first_pool
+        finally:
+            orchestrator.close()
+        assert orchestrator.executor.closed
+
+    def test_external_executor_not_closed(self, memory_lake):
+        from repro.parallel.executor import PartitionedExecutor
+
+        executor = PartitionedExecutor.serial()
+        with FleetOrchestrator(memory_lake, PipelineConfig(), executor=executor):
+            pass
+        assert not executor.closed
+
+
+class TestOrchestratorCaching:
+    @pytest.fixture()
+    def disk_lake(self, tmp_path, fleet_spec):
+        lake = DataLakeStore(tmp_path / "lake")
+        populate_lake(lake, fleet_spec, weeks=range(2))
+        return lake
+
+    def test_warm_rerun_served_from_unit_cache(self, disk_lake, tmp_path):
+        cache_dir = tmp_path / "cache"
+        with FleetOrchestrator(
+            disk_lake, PipelineConfig(), cache_dir=cache_dir
+        ) as orchestrator:
+            cold = orchestrator.run()
+            warm = orchestrator.run()
+        assert cold.cache_summary()["unit_hits"] == 0
+        assert cold.cache_summary()["stage_misses"] == 12  # 3 stages x 4 units
+        assert warm.cache_summary()["unit_hits"] == 4
+        assert all(outcome.from_unit_cache for outcome in warm.outcomes)
+
+    def test_warm_outcomes_identical_to_cold(self, disk_lake, tmp_path):
+        with FleetOrchestrator(
+            disk_lake, PipelineConfig(), cache_dir=tmp_path / "cache"
+        ) as orchestrator:
+            cold = orchestrator.run()
+            warm = orchestrator.run()
+        for before, after in zip(cold.outcomes, warm.outcomes):
+            assert after.region == before.region and after.week == before.week
+            assert after.summary == before.summary
+            assert after.n_predictable == before.n_predictable
+            assert after.n_predictions == before.n_predictions
+
+    def test_changed_extract_recomputes_that_unit_only(self, disk_lake, tmp_path, fleet_spec):
+        cache_dir = tmp_path / "cache"
+        with FleetOrchestrator(
+            disk_lake, PipelineConfig(), cache_dir=cache_dir
+        ) as orchestrator:
+            orchestrator.run()
+            # Overwrite one extract with different content.
+            changed_key = ExtractKey("region-0", 0)
+            frame = WorkloadGenerator(fleet_spec).generate_weekly_extract("region-0", 3)
+            disk_lake.write_extract(changed_key, frame)
+            second = orchestrator.run()
+        assert second.cache_summary()["unit_hits"] == 3
+        recomputed = [o for o in second.outcomes if not o.from_unit_cache]
+        assert [(o.region, o.week) for o in recomputed] == [("region-0", 0)]
+
+    def test_config_change_reuses_feature_stage(self, disk_lake, tmp_path):
+        cache_dir = tmp_path / "cache"
+        with FleetOrchestrator(
+            disk_lake, PipelineConfig(), cache_dir=cache_dir
+        ) as orchestrator:
+            orchestrator.run()
+        with FleetOrchestrator(
+            disk_lake,
+            PipelineConfig(model_name="persistent_previous_equivalent_day"),
+            cache_dir=cache_dir,
+        ) as orchestrator:
+            report = orchestrator.run()
+        # New model: whole-unit outcomes are invalid, but the frame content
+        # did not change, so the feature stage is served from cache.
+        assert report.cache_summary()["unit_hits"] == 0
+        for outcome in report.outcomes:
+            assert outcome.cache_events["features"] == "hit"
+            assert outcome.cache_events["train_infer"] == "miss"
+
+    def test_corrupt_unit_cache_file_recovers(self, disk_lake, tmp_path):
+        cache_dir = tmp_path / "cache"
+        with FleetOrchestrator(
+            disk_lake, PipelineConfig(), cache_dir=cache_dir
+        ) as orchestrator:
+            orchestrator.run()
+            unit_cache_path(cache_dir, "region-0", 0).write_text("not json at all")
+            report = orchestrator.run()
+        assert report.n_failed == 0
+        # The corrupted unit recomputed; the others were cache hits.
+        assert report.cache_summary()["unit_hits"] == 3
+
+    def test_executor_backend_change_keeps_unit_cache(self, disk_lake, tmp_path):
+        cache_dir = tmp_path / "cache"
+        units = [ExtractKey("region-0", 0)]
+        with FleetOrchestrator(
+            disk_lake, PipelineConfig(), cache_dir=cache_dir
+        ) as orchestrator:
+            orchestrator.run(units)
+        # Execution knobs change how a unit is computed, not what it
+        # computes: the cached outcome must still be served.
+        with FleetOrchestrator(
+            disk_lake,
+            PipelineConfig().with_executor("threads", 2),
+            cache_dir=cache_dir,
+        ) as orchestrator:
+            warm = orchestrator.run(units)
+        assert warm.cache_summary()["unit_hits"] == 1
+
+    def test_processes_backend_with_cache(self, disk_lake, tmp_path):
+        cache_dir = tmp_path / "cache"
+        units = [ExtractKey("region-0", 0), ExtractKey("region-1", 0)]
+        with FleetOrchestrator(
+            disk_lake,
+            PipelineConfig(),
+            backend="processes",
+            n_workers=2,
+            cache_dir=cache_dir,
+        ) as orchestrator:
+            cold = orchestrator.run(units)
+            warm = orchestrator.run(units)
+        assert cold.n_succeeded == 2
+        assert warm.cache_summary()["unit_hits"] == 2
+
+
+class TestUnitOutcomePayload:
+    def test_roundtrip(self):
+        outcome = FleetUnitOutcome(
+            region="region-0",
+            week=1,
+            run_id="run-1",
+            succeeded=True,
+            abort_reason="",
+            timings={"model_training": 1.5},
+            summary={"pct_windows_correct": 80.0},
+            n_servers=10,
+            n_predictions=7,
+            n_predictable=5,
+            incidents=[{"severity": "warning", "source": "x", "message": "m", "region": "r"}],
+            cache_events={"features": "miss"},
+            wall_seconds=2.0,
+        )
+        restored = FleetUnitOutcome.from_payload(outcome.to_payload())
+        assert restored == outcome
+
+    def test_cache_hit_view_keeps_compute_timings(self):
+        outcome = FleetUnitOutcome(
+            region="r",
+            week=0,
+            run_id="run",
+            succeeded=True,
+            abort_reason="",
+            timings={"model_training": 3.0},
+            summary=None,
+            n_servers=1,
+            n_predictions=1,
+            n_predictable=1,
+            incidents=[],
+            cache_events={},
+            wall_seconds=3.5,
+        )
+        hit = outcome.as_cache_hit(0.01)
+        assert hit.from_unit_cache
+        assert hit.timings["model_training"] == 3.0
+        assert hit.wall_seconds == 0.01
+
+
+class TestFleetReportEdgeCases:
+    def test_empty_report(self):
+        report = FleetReport(outcomes=[], backend="serial", n_workers=1, wall_seconds=0.0)
+        assert report.n_units == 0
+        assert report.predictability_rollup()["pct_predictable"] == 0.0
+        assert report.render_text()
+
+
+class TestFleetCli:
+    def test_cli_runs_and_reports(self, capsys, tmp_path):
+        code = fleet_main(
+            [
+                "--servers",
+                "6,4",
+                "--weeks",
+                "1",
+                "--lake-dir",
+                str(tmp_path / "lake"),
+                "--cache-dir",
+                str(tmp_path / "cache"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Fleet run: 2 units" in out
+
+    def test_cli_json_output(self, capsys, tmp_path):
+        code = fleet_main(
+            [
+                "--servers",
+                "5",
+                "--weeks",
+                "1",
+                "--json",
+                "--lake-dir",
+                str(tmp_path / "lake"),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["run"]["n_units"] == 1
+
+    def test_cli_rerun_requires_cache_dir(self, capsys):
+        assert fleet_main(["--rerun"]) == 2
+
+    def test_cli_rejects_bad_servers(self, capsys):
+        assert fleet_main(["--servers", "nope"]) == 2
+        assert fleet_main(["--servers", "0"]) == 2
+
+    def test_cli_rerun_hits_cache(self, capsys, tmp_path):
+        code = fleet_main(
+            [
+                "--servers",
+                "5",
+                "--weeks",
+                "1",
+                "--rerun",
+                "--lake-dir",
+                str(tmp_path / "lake"),
+                "--cache-dir",
+                str(tmp_path / "cache"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "warm re-run" in out
+        assert "Warm-cache speedup" in out

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.parallel.executor import ExecutionBackend, PartitionedExecutor
+from repro.parallel import executor as executor_module
+from repro.parallel.executor import (
+    ExecutionBackend,
+    PartitionedExecutor,
+    default_worker_count,
+)
 from repro.parallel.partition import chunk_evenly, partition_dict, partition_list
 
 
@@ -82,3 +87,69 @@ class TestExecutorBackends:
 
     def test_n_workers_defaults_to_positive(self):
         assert PartitionedExecutor().n_workers >= 1
+
+
+class TestWorkerCountDefault:
+    def test_default_worker_count_positive(self):
+        assert default_worker_count() >= 1
+
+    def test_safe_when_cpu_count_is_none(self, monkeypatch):
+        monkeypatch.setattr(executor_module.os, "cpu_count", lambda: None)
+        monkeypatch.delattr(executor_module.os, "sched_getaffinity", raising=False)
+        assert default_worker_count() == 1
+        assert PartitionedExecutor("threads").n_workers == 1
+
+    def test_prefers_affinity_when_available(self, monkeypatch):
+        monkeypatch.setattr(
+            executor_module.os, "sched_getaffinity", lambda pid: {0, 1, 2}, raising=False
+        )
+        assert default_worker_count() == 3
+
+
+class TestExecutorLifecycle:
+    def test_thread_pool_reused_across_map_calls(self):
+        executor = PartitionedExecutor("threads", n_workers=2)
+        executor.map(square_sum, [[1], [2]])
+        first_pool = executor._pool
+        executor.map(square_sum, [[3], [4]])
+        assert executor._pool is first_pool
+        executor.close()
+
+    def test_serial_backend_never_creates_pool(self):
+        executor = PartitionedExecutor()
+        executor.map(square_sum, [[1], [2]])
+        assert executor._pool is None
+
+    def test_context_manager_closes_pool(self):
+        with PartitionedExecutor("threads", n_workers=2) as executor:
+            assert executor.map(square_sum, [[1, 2], [3]]) == [5, 9]
+            assert not executor.closed
+        assert executor.closed
+        assert executor._pool is None
+
+    def test_map_after_close_raises(self):
+        executor = PartitionedExecutor("threads", n_workers=2)
+        executor.close()
+        with pytest.raises(RuntimeError):
+            executor.map(square_sum, [[1]])
+
+    def test_reenter_after_close_raises(self):
+        executor = PartitionedExecutor()
+        executor.close()
+        with pytest.raises(RuntimeError):
+            with executor:
+                pass  # pragma: no cover - never reached
+
+    def test_close_is_idempotent(self):
+        executor = PartitionedExecutor("threads", n_workers=2)
+        executor.map(square_sum, [[1], [2]])
+        executor.close()
+        executor.close()
+        assert executor.closed
+
+    def test_process_pool_reused_across_map_calls(self):
+        with PartitionedExecutor("processes", n_workers=1) as executor:
+            assert executor.map(square_sum, [[1, 2], [3]]) == [5, 9]
+            first_pool = executor._pool
+            assert executor.map(square_sum, [[2, 2], [4]]) == [8, 16]
+            assert executor._pool is first_pool
