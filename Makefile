@@ -16,7 +16,7 @@ test:
 
 ## Quick benchmark smoke: the jobs CI runs on every PR.
 bench-smoke:
-	python -m pytest benchmarks -q -k "classification or fig12a"
+	python -m pytest benchmarks -q -k "classification or fig12a or columnar"
 
 ## Fleet orchestrator demo: cold + warm-cache run over a synthetic fleet.
 fleet-demo:

@@ -1,10 +1,16 @@
 """Command-line entry point: ``python -m repro.fleet_ops``.
 
-Generates (or reuses) a synthetic multi-region lake, runs the fleet
-orchestrator over every ``(region, week)`` extract, and prints the
-consolidated fleet report.  ``--rerun`` runs the fleet twice to show the
-artifact cache at work (the second pass serves unchanged extracts from
-the unit-outcome cache).
+Two commands:
+
+* the default (no subcommand) generates (or reuses) a synthetic
+  multi-region lake, runs the fleet orchestrator over every
+  ``(region, week)`` extract, and prints the consolidated fleet report.
+  ``--rerun`` runs the fleet twice to show the artifact cache at work
+  (the second pass serves unchanged extracts from the unit-outcome
+  cache);
+* ``python -m repro.fleet_ops convert`` migrates an existing lake in
+  place between the CSV and columnar ``.sgx`` extract formats and prints
+  a rollup of extracts, rows and bytes converted.
 """
 
 from __future__ import annotations
@@ -13,11 +19,13 @@ import argparse
 import json
 import sys
 import tempfile
+from pathlib import Path
 
 from repro.core.config import PipelineConfig
 from repro.fleet_ops.orchestrator import FleetOrchestrator
 from repro.fleet_ops.synthesis import populate_lake
-from repro.storage.datalake import DataLakeStore
+from repro.storage.datalake import EXTRACT_FORMATS, DataLakeStore
+from repro.storage.migrate import ConversionVerificationError, convert_lake
 from repro.telemetry.fleet import default_fleet_spec
 
 
@@ -51,7 +59,20 @@ def build_parser() -> argparse.ArgumentParser:
         default="serial",
         help="how (region, week) units are sharded",
     )
-    parser.add_argument("--workers", type=int, default=None, help="worker count")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count (default: the fleet heuristic -- "
+        "min(units, usable CPUs, cap))",
+    )
+    parser.add_argument(
+        "--extract-format",
+        choices=EXTRACT_FORMATS,
+        default="sgx",
+        help="format newly generated extracts are written in "
+        "(.sgx is the columnar fast path; default: %(default)s)",
+    )
     parser.add_argument(
         "--lake-dir",
         default=None,
@@ -71,7 +92,71 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: list[str] | None = None) -> int:
+def build_convert_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fleet_ops convert",
+        description="Convert a lake's extracts in place between CSV and columnar .sgx.",
+    )
+    parser.add_argument("--lake-dir", required=True, help="root directory of the lake")
+    parser.add_argument(
+        "--to",
+        choices=EXTRACT_FORMATS,
+        default="sgx",
+        dest="to_format",
+        help="target extract format (default: %(default)s)",
+    )
+    parser.add_argument("--region", default=None, help="convert only this region")
+    parser.add_argument(
+        "--delete-source",
+        action="store_true",
+        help="remove the source-format copy after (verified) conversion",
+    )
+    parser.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the lossless round-trip verification of each converted extract",
+    )
+    parser.add_argument("--json", action="store_true", help="emit the rollup as JSON")
+    return parser
+
+
+def convert_main(argv: list[str]) -> int:
+    args = build_convert_parser().parse_args(argv)
+    if not Path(args.lake_dir).is_dir():
+        # DataLakeStore would mkdir the path; a typo'd --lake-dir must not
+        # turn into a silent "0 extract(s) converted" success.
+        print(f"--lake-dir {args.lake_dir!r} does not exist", file=sys.stderr)
+        return 2
+    if args.region is not None and not (Path(args.lake_dir) / args.region).is_dir():
+        # Same guard for a typo'd region name.
+        print(
+            f"--region {args.region!r} has no partition under {args.lake_dir!r}",
+            file=sys.stderr,
+        )
+        return 2
+    lake = DataLakeStore(args.lake_dir)
+    try:
+        report = convert_lake(
+            lake,
+            to_format=args.to_format,
+            region=args.region,
+            delete_source=args.delete_source,
+            verify=not args.no_verify,
+        )
+    except (ConversionVerificationError, ValueError) as exc:
+        # ValueError covers unreadable extracts (ColumnarFormatError,
+        # CsvSchemaError): abort with the documented exit code, not a
+        # traceback.
+        print(f"conversion aborted: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render_text())
+    return 0
+
+
+def run_main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         servers = tuple(int(part) for part in args.servers.split(",") if part.strip())
@@ -99,7 +184,7 @@ def main(argv: list[str] | None = None) -> int:
         temp_holder = tempfile.TemporaryDirectory(prefix="seagull-lake-")
         lake_dir = temp_holder.name
     try:
-        lake = DataLakeStore(lake_dir)
+        lake = DataLakeStore(lake_dir, write_format=args.extract_format)
         keys = populate_lake(lake, spec, weeks=range(args.weeks))
         with FleetOrchestrator(
             lake,
@@ -129,3 +214,11 @@ def main(argv: list[str] | None = None) -> int:
     finally:
         if temp_holder is not None:
             temp_holder.cleanup()
+
+
+def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "convert":
+        return convert_main(argv[1:])
+    return run_main(argv)

@@ -33,10 +33,17 @@ from repro.core.incidents import IncidentManager
 from repro.core.pipeline import SeagullPipeline
 from repro.core.stage_cache import STAGE_UNIT_OUTCOME
 from repro.fleet_ops.report import FleetReport, FleetUnitOutcome
-from repro.parallel.executor import ExecutionBackend, PartitionedExecutor
+from repro.parallel.executor import (
+    MAX_FLEET_WORKERS,
+    ExecutionBackend,
+    PartitionedExecutor,
+    recommended_fleet_workers,
+)
 from repro.storage.artifacts import ArtifactStore, artifact_key, content_digest
+from repro.storage.columnar import ColumnarFormatError, frame_from_sgx_bytes
 from repro.storage.csv_io import frame_from_csv_text
 from repro.storage.datalake import DataLakeStore, ExtractKey, ExtractNotFoundError
+from repro.timeseries.frame import LoadFrame
 
 
 #: Config fields that change *how* a unit is computed, not *what* it
@@ -60,15 +67,39 @@ def unit_cache_path(cache_dir: str | Path, region: str, week: int) -> Path:
 
 @dataclass(frozen=True)
 class _UnitTask:
-    """Everything a (possibly out-of-process) worker needs for one unit."""
+    """Everything a (possibly out-of-process) worker needs for one unit.
+
+    In-memory lakes ship the extract's raw stored bytes (CSV text or
+    ``.sgx`` columnar) plus their format -- and, when a CSV copy co-exists
+    with a preferred ``.sgx`` one, the CSV bytes too, so workers keep the
+    lake's damaged-``.sgx``-degrades-to-CSV behaviour.  Disk lakes ship
+    only the root and let the worker's own :class:`DataLakeStore`
+    negotiate the format.
+    """
 
     region: str
     week: int
     config: PipelineConfig
     lake_root: str | None = None
-    csv_text: str | None = None
+    payload: bytes | None = None
+    payload_format: str = "csv"
+    fallback_csv: bytes | None = None
     cache_dir: str | None = None
     interval_minutes: int = 5
+
+
+def _parse_payload(task: _UnitTask) -> LoadFrame:
+    assert task.payload is not None
+    if task.payload_format == "sgx":
+        try:
+            return frame_from_sgx_bytes(task.payload, task.interval_minutes)
+        except ColumnarFormatError:
+            if task.fallback_csv is None:
+                raise
+            return frame_from_csv_text(
+                task.fallback_csv.decode("utf-8"), task.interval_minutes
+            )
+    return frame_from_csv_text(task.payload.decode("utf-8"), task.interval_minutes)
 
 
 def _failed_outcome(task: _UnitTask, reason: str, wall: float) -> FleetUnitOutcome:
@@ -107,12 +138,15 @@ def _execute_unit(task: _UnitTask) -> FleetUnitOutcome:
     key = ExtractKey(region=task.region, week=task.week)
     lake = DataLakeStore(task.lake_root) if task.lake_root is not None else None
 
-    # Fingerprint the raw extract bytes (no parsing yet).
+    # Fingerprint the raw extract bytes (no parsing yet).  The digest
+    # covers the stored representation, so converting a lake to .sgx
+    # refreshes unit fingerprints while stage-cache keys (frame content
+    # hashes) stay valid.
     try:
         if lake is not None:
             fingerprint = lake.extract_fingerprint(key)
-        elif task.csv_text is not None:
-            fingerprint = content_digest(task.csv_text)
+        elif task.payload is not None:
+            fingerprint = content_digest(task.payload)
         else:
             raise ExtractNotFoundError(f"no extract for {key}")
     except ExtractNotFoundError:
@@ -142,8 +176,7 @@ def _execute_unit(task: _UnitTask) -> FleetUnitOutcome:
         if lake is not None:
             frame = lake.read_extract(key, task.interval_minutes)
         else:
-            assert task.csv_text is not None
-            frame = frame_from_csv_text(task.csv_text, task.interval_minutes)
+            frame = _parse_payload(task)
     except (ExtractNotFoundError, ValueError) as exc:
         return _failed_outcome(task, f"unreadable extract for {key}: {exc}", time.perf_counter() - started)
     ingest_seconds = time.perf_counter() - ingest_started
@@ -187,16 +220,26 @@ class FleetOrchestrator:
     lake:
         Extract store holding the fleet's weekly extracts.  Disk-backed
         lakes work with every backend; in-memory lakes ship each extract's
-        CSV text to the workers (fine for tests, wasteful at scale).
+        raw stored bytes -- CSV or columnar ``.sgx``, plus CSV fallback
+        bytes when both exist -- to the workers (fine for tests, wasteful
+        at scale).
     config:
         Pipeline configuration applied to every unit.
     backend / n_workers / executor:
         How units are sharded.  Passing an ``executor`` shares one worker
         pool across successive :meth:`run` calls; otherwise the
-        orchestrator creates (and owns) one from ``backend``/``n_workers``.
+        orchestrator creates (and owns) one from ``backend``/``n_workers``
+        at the first :meth:`run`, defaulting ``n_workers`` to
+        :func:`~repro.parallel.executor.recommended_fleet_workers` for the
+        unit count being sharded.
     cache_dir:
         Directory for per-unit artifact caches.  ``None`` disables
         caching.
+    principal:
+        Principal presented to the lake's access checks (required for
+        lakes constructed with ``granted_principals``).  Out-of-process
+        workers reopen disk lakes from the root path without the
+        allow-list, so enforcement happens here at the coordinator.
     """
 
     def __init__(
@@ -207,21 +250,38 @@ class FleetOrchestrator:
         n_workers: int | None = None,
         executor: PartitionedExecutor | None = None,
         cache_dir: str | Path | None = None,
+        principal: str | None = None,
     ) -> None:
         self._lake = lake
+        self._principal = principal
         self._config = config if config is not None else PipelineConfig()
-        if executor is not None:
-            self._executor = executor
-            self._owns_executor = False
-        else:
-            self._executor = PartitionedExecutor(backend, n_workers)
-            self._owns_executor = True
+        self._backend = backend
+        self._n_workers = n_workers
+        self._executor = executor
+        self._owns_executor = executor is None
         self._cache_dir = str(cache_dir) if cache_dir is not None else None
         if self._cache_dir is not None:
             Path(self._cache_dir).mkdir(parents=True, exist_ok=True)
 
+    def _make_executor(self, n_units: int | None) -> PartitionedExecutor:
+        n_workers = self._n_workers
+        backend = (
+            ExecutionBackend(self._backend)
+            if isinstance(self._backend, str)
+            else self._backend
+        )
+        if n_workers is None and backend is not ExecutionBackend.SERIAL:
+            # Unknown unit count (pool built before the first run) still
+            # gets the CPU/cap bounds; a known count tightens it further.
+            n_workers = recommended_fleet_workers(
+                n_units if n_units is not None else MAX_FLEET_WORKERS
+            )
+        return PartitionedExecutor(backend, n_workers)
+
     @property
     def executor(self) -> PartitionedExecutor:
+        if self._executor is None:
+            self._executor = self._make_executor(None)
         return self._executor
 
     @property
@@ -232,7 +292,7 @@ class FleetOrchestrator:
 
     def close(self) -> None:
         """Release the worker pool if this orchestrator created it."""
-        if self._owns_executor:
+        if self._owns_executor and self._executor is not None:
             self._executor.close()
 
     def __enter__(self) -> "FleetOrchestrator":
@@ -245,18 +305,30 @@ class FleetOrchestrator:
 
     def _task_for(self, key: ExtractKey) -> _UnitTask:
         root = self._lake.root
-        csv_text: str | None = None
+        payload: bytes | None = None
+        payload_format = "csv"
+        fallback_csv: bytes | None = None
         if root is None:
             try:
-                csv_text = self._lake.read_extract_text(key)
+                payload_format, payload = self._lake.read_extract_bytes(
+                    key, principal=self._principal
+                )
+                if payload_format == "sgx" and "csv" in self._lake.extract_formats(
+                    key, principal=self._principal
+                ):
+                    _, fallback_csv = self._lake.read_extract_bytes(
+                        key, principal=self._principal, fmt="csv"
+                    )
             except ExtractNotFoundError:
-                csv_text = None
+                payload = None
         return _UnitTask(
             region=key.region,
             week=key.week,
             config=self._config,
             lake_root=str(root) if root is not None else None,
-            csv_text=csv_text,
+            payload=payload,
+            payload_format=payload_format,
+            fallback_csv=fallback_csv,
             cache_dir=self._cache_dir,
             interval_minutes=self._config.interval_minutes,
         )
@@ -270,9 +342,16 @@ class FleetOrchestrator:
         and cache activity.
         """
         started = time.perf_counter()
+        # Enforced here for explicit unit lists too: disk workers reopen
+        # the lake without the allow-list, so the coordinator is the gate.
+        self._lake.check_access(self._principal)
         if units is None:
-            units = self._lake.list_extracts()
+            units = self._lake.list_extracts(principal=self._principal)
         tasks = [self._task_for(key) for key in sorted(units)]
+        if self._executor is None:
+            # Deferred so the owned pool can be sized by the fleet
+            # heuristic for the actual unit count; later runs reuse it.
+            self._executor = self._make_executor(len(tasks))
         outcomes = self._executor.map(_execute_unit, tasks)
         return FleetReport(
             outcomes=list(outcomes),

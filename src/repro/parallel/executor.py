@@ -44,6 +44,30 @@ def default_worker_count() -> int:
     return os.cpu_count() or 1
 
 
+#: Cap on fleet-sharding workers: per-unit tasks ship only a config and a
+#: lake root, so beyond this many workers pool start-up and task-dispatch
+#: overhead outweigh the extra parallelism for realistic unit counts.
+MAX_FLEET_WORKERS = 8
+
+
+def recommended_fleet_workers(n_units: int, available: int | None = None) -> int:
+    """Worker count for sharding ``n_units`` fleet work units.
+
+    The heuristic the fleet orchestrator, CLI and benchmarks share (the
+    ROADMAP open item asked for it to be explicit and tested): never more
+    workers than units (surplus workers only add pool start-up cost),
+    never more than the usable CPUs (``available`` defaults to
+    :func:`default_worker_count`, which respects container affinity), and
+    never more than :data:`MAX_FLEET_WORKERS`.  A result of 1 means
+    parallel sharding cannot win on this host/workload -- callers gate
+    parallel-speedup assertions on it.
+    """
+    if n_units < 1:
+        return 1
+    cores = available if available is not None else default_worker_count()
+    return max(1, min(n_units, cores, MAX_FLEET_WORKERS))
+
+
 class ExecutionBackend(enum.Enum):
     """How partitions are executed."""
 

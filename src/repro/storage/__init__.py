@@ -9,19 +9,38 @@
   document store playing the role of Cosmos DB: pipeline results, model
   records and scheduling decisions are persisted as keyed documents in
   named containers.
+* :mod:`~repro.storage.columnar` -- the binary columnar ``.sgx`` extract
+  format: dictionary-encoded metadata, per-server column chunks with
+  zone maps and checksums, zero-copy ``numpy.frombuffer`` ingestion.
+* :mod:`~repro.storage.migrate` -- in-place lake conversion between the
+  CSV and ``.sgx`` extract formats (the ``convert`` CLI's engine).
 * :class:`~repro.storage.artifacts.ArtifactStore` -- a content-addressed
   cache of pipeline stage outputs keyed by extract content hash, which is
   what lets fleet re-runs skip recomputation on unchanged extracts.
 """
 
 from repro.storage.artifacts import ArtifactCacheStats, ArtifactStore, artifact_key
+from repro.storage.columnar import (
+    ColumnarFormatError,
+    frame_from_sgx_bytes,
+    frame_to_sgx_bytes,
+    read_frame_sgx,
+    write_frame_sgx,
+)
 from repro.storage.csv_io import read_frame_csv, write_frame_csv
-from repro.storage.datalake import DataLakeStore, ExtractKey
+from repro.storage.datalake import EXTRACT_FORMATS, DataLakeStore, ExtractKey
 from repro.storage.documentdb import Document, DocumentStore
+from repro.storage.migrate import LakeConversionReport, convert_lake
 
 __all__ = [
     "read_frame_csv",
     "write_frame_csv",
+    "read_frame_sgx",
+    "write_frame_sgx",
+    "frame_from_sgx_bytes",
+    "frame_to_sgx_bytes",
+    "ColumnarFormatError",
+    "EXTRACT_FORMATS",
     "DataLakeStore",
     "ExtractKey",
     "DocumentStore",
@@ -29,4 +48,6 @@ __all__ = [
     "ArtifactStore",
     "ArtifactCacheStats",
     "artifact_key",
+    "convert_lake",
+    "LakeConversionReport",
 ]

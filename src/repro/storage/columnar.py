@@ -1,0 +1,394 @@
+"""Binary columnar extract format (``.sgx``).
+
+CSV parsing dominates cold-run ingestion: every value is re-tokenised and
+re-converted on every read.  The ``.sgx`` format stores a weekly extract
+the way the pipeline consumes it -- per-server columns of raw
+little-endian ``int64`` timestamps and ``float64`` CPU values -- so a read
+is a :func:`numpy.frombuffer` over the file bytes instead of a row loop.
+
+Layout (all integers little-endian)::
+
+    header   magic "SGXF" | version u16 | flags u16 | interval u32
+             | n_servers u32 | n_dict u32 | file_length u64
+             | structure_crc u32 | header_crc u32
+    dict     n_dict strings (u16 length + UTF-8 bytes); region / engine /
+             true-class values are stored once and referenced by index
+    chunks   one per server:
+               server_id (u16 length + UTF-8 bytes)
+               region_idx u32 | engine_idx u32 | true_class_idx u32
+               backup_start i64 | backup_end i64 | backup_duration u32
+               n_points u64 | min_ts i64 | max_ts i64 | payload_crc u32
+               timestamps  n_points x i64
+               values      n_points x f64
+
+Every chunk carries a **zone map** (``min_ts``/``max_ts``): a time-range
+read (:func:`frame_from_sgx_bytes` with ``start_minute``/``end_minute``)
+skips non-overlapping chunks without touching -- or checksum-verifying --
+their payload bytes.  Three checksums cover everything that *is*
+ingested: ``header_crc`` over the fixed header, ``structure_crc`` over
+the dictionary and every chunk header (so tampered zone maps, metadata
+fields or dictionary strings cannot be silently loaded -- pruning
+decisions are only trusted once the structure verifies), and a per-chunk
+``payload_crc`` over the column buffers actually read.  Any damage (bad
+magic, truncation, checksum mismatch, out-of-range dictionary index)
+raises the typed :class:`ColumnarFormatError` so callers can degrade to
+a CSV fallback.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.timeseries.frame import LoadFrame, ServerMetadata
+from repro.timeseries.series import LoadSeries
+
+MAGIC = b"SGXF"
+VERSION = 1
+
+#: magic 4s | version u16 | flags u16 | interval u32 | n_servers u32
+#: | n_dict u32 | file_length u64 | structure_crc u32 -- followed by a
+#: u32 CRC of these bytes.  ``structure_crc`` covers the dictionary
+#: section plus every chunk header (everything between the header and the
+#: payloads), so zone maps and metadata are tamper-evident even though
+#: pruned payloads are never read.
+_HEADER = struct.Struct("<4sHHIIIQI")
+_HEADER_CRC = struct.Struct("<I")
+HEADER_BYTES = _HEADER.size + _HEADER_CRC.size  # 36
+
+#: region_idx | engine_idx | true_class_idx | backup_start | backup_end
+#: | backup_duration | n_points | min_ts | max_ts | payload_crc
+_CHUNK_FIXED = struct.Struct("<IIIqqIQqqI")
+_STRING_LEN = struct.Struct("<H")
+
+#: Sentinel zone map of an empty chunk: min > max can match no range.
+_EMPTY_MIN_TS = 0
+_EMPTY_MAX_TS = -1
+
+
+class ColumnarFormatError(ValueError):
+    """Raised when bytes are not a readable ``.sgx`` extract.
+
+    Covers structural damage (bad magic, unsupported version, truncation)
+    and content damage (header or chunk checksum mismatches).  It is a
+    ``ValueError`` so ingestion error handling that already catches parse
+    failures keeps working.
+    """
+
+
+# --------------------------------------------------------------------- #
+# Writing
+# --------------------------------------------------------------------- #
+
+
+def _packed_string(text: str, what: str) -> bytes:
+    encoded = text.encode("utf-8")
+    if len(encoded) > 0xFFFF:
+        raise ColumnarFormatError(f"{what} {text[:32]!r}... exceeds 65535 encoded bytes")
+    return _STRING_LEN.pack(len(encoded)) + encoded
+
+
+def frame_to_sgx_bytes(frame: LoadFrame) -> bytes:
+    """Serialise ``frame`` into ``.sgx`` bytes."""
+    dictionary: dict[str, int] = {}
+
+    def intern(text: str) -> int:
+        return dictionary.setdefault(text, len(dictionary))
+
+    chunk_blobs: list[tuple[bytes, bytes]] = []  # (chunk header, payload)
+    for server_id, metadata, series in frame.items():
+        timestamps = np.ascontiguousarray(series.timestamps, dtype="<i8")
+        values = np.ascontiguousarray(series.values, dtype="<f8")
+        payload = timestamps.tobytes() + values.tobytes()
+        n_points = int(timestamps.shape[0])
+        if n_points:
+            min_ts, max_ts = int(timestamps[0]), int(timestamps[-1])
+        else:
+            min_ts, max_ts = _EMPTY_MIN_TS, _EMPTY_MAX_TS
+        chunk_header = _packed_string(server_id, "server id") + _CHUNK_FIXED.pack(
+            intern(metadata.region),
+            intern(metadata.engine),
+            intern(metadata.true_class),
+            metadata.default_backup_start,
+            metadata.default_backup_end,
+            metadata.backup_duration_minutes,
+            n_points,
+            min_ts,
+            max_ts,
+            zlib.crc32(payload),
+        )
+        chunk_blobs.append((chunk_header, payload))
+
+    dict_section = bytearray()
+    for text in dictionary:  # insertion order == index order
+        dict_section += _packed_string(text, "dictionary string")
+
+    structure_crc = zlib.crc32(bytes(dict_section))
+    for chunk_header, _payload in chunk_blobs:
+        structure_crc = zlib.crc32(chunk_header, structure_crc)
+
+    body = bytes(dict_section) + b"".join(
+        chunk_header + payload for chunk_header, payload in chunk_blobs
+    )
+    header = _HEADER.pack(
+        MAGIC,
+        VERSION,
+        0,
+        frame.interval_minutes,
+        len(frame),
+        len(dictionary),
+        HEADER_BYTES + len(body),
+        structure_crc,
+    )
+    return header + _HEADER_CRC.pack(zlib.crc32(header)) + body
+
+
+def write_frame_sgx(frame: LoadFrame, path: str | Path) -> int:
+    """Write ``frame`` to ``path`` as ``.sgx``; returns data rows written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(frame_to_sgx_bytes(frame))
+    return frame.total_points()
+
+
+# --------------------------------------------------------------------- #
+# Reading
+# --------------------------------------------------------------------- #
+
+
+def _read_string(data: bytes, offset: int, what: str) -> tuple[str, int]:
+    end = offset + _STRING_LEN.size
+    if end > len(data):
+        raise ColumnarFormatError(f"truncated .sgx extract: {what} length at byte {offset}")
+    (length,) = _STRING_LEN.unpack_from(data, offset)
+    if end + length > len(data):
+        raise ColumnarFormatError(f"truncated .sgx extract: {what} bytes at byte {end}")
+    try:
+        text = data[end : end + length].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ColumnarFormatError(f"garbled .sgx extract: {what} is not UTF-8") from exc
+    return text, end + length
+
+
+def _parse_header(data: bytes) -> tuple[int, int, int, int]:
+    """Validate the header; returns ``(interval, n_servers, n_dict, structure_crc)``."""
+    if len(data) < HEADER_BYTES:
+        raise ColumnarFormatError(
+            f"truncated .sgx extract: {len(data)} bytes, header needs {HEADER_BYTES}"
+        )
+    (
+        magic,
+        version,
+        _flags,
+        interval,
+        n_servers,
+        n_dict,
+        file_length,
+        structure_crc,
+    ) = _HEADER.unpack_from(data, 0)
+    if magic != MAGIC:
+        raise ColumnarFormatError(f"not an .sgx extract (magic {magic!r})")
+    (header_crc,) = _HEADER_CRC.unpack_from(data, _HEADER.size)
+    if zlib.crc32(data[: _HEADER.size]) != header_crc:
+        raise ColumnarFormatError("garbled .sgx extract: header checksum mismatch")
+    if version != VERSION:
+        raise ColumnarFormatError(
+            f"unsupported .sgx version {version} (this reader supports {VERSION})"
+        )
+    if file_length != len(data):
+        raise ColumnarFormatError(
+            f"truncated .sgx extract: header declares {file_length} bytes, got {len(data)}"
+        )
+    return interval, n_servers, n_dict, structure_crc
+
+
+def _dict_lookup(dictionary: list[str], index: int, what: str) -> str:
+    if index >= len(dictionary):
+        raise ColumnarFormatError(
+            f"garbled .sgx extract: {what} dictionary index {index} out of range"
+        )
+    return dictionary[index]
+
+
+def _parse_structure(data: bytes):
+    """Validate header + dictionary; return ``(interval, dictionary, chunks)``.
+
+    ``chunks`` is a generator of ``(server_id, fields, payload_offset)``
+    per chunk (``fields`` is the raw :data:`_CHUNK_FIXED` tuple).  It
+    bounds-checks every chunk, and on exhaustion verifies that the chunks
+    exactly fill the file and that the accumulated structure CRC matches
+    the header -- the single walk both the reader and the inspector use,
+    so the two can never diverge on the layout.
+    """
+    interval, n_servers, n_dict, structure_crc = _parse_header(data)
+    offset = HEADER_BYTES
+    dictionary: list[str] = []
+    for _ in range(n_dict):
+        text, offset = _read_string(data, offset, "dictionary string")
+        dictionary.append(text)
+    view = memoryview(data)
+    dict_end = offset
+
+    def chunks():
+        position = dict_end
+        seen_crc = zlib.crc32(view[HEADER_BYTES:dict_end])
+        for _ in range(n_servers):
+            chunk_start = position
+            server_id, position = _read_string(data, chunk_start, "server id")
+            if position + _CHUNK_FIXED.size > len(data):
+                raise ColumnarFormatError(
+                    f"truncated .sgx extract: chunk header of {server_id!r} at byte {position}"
+                )
+            fields = _CHUNK_FIXED.unpack_from(data, position)
+            payload_offset = position + _CHUNK_FIXED.size
+            seen_crc = zlib.crc32(view[chunk_start:payload_offset], seen_crc)
+            n_points = fields[6]
+            position = payload_offset + n_points * 16
+            if position > len(data):
+                raise ColumnarFormatError(
+                    f"truncated .sgx extract: payload of {server_id!r} at byte {payload_offset}"
+                )
+            yield server_id, fields, payload_offset
+        if position != len(data):
+            raise ColumnarFormatError(
+                f"garbled .sgx extract: {len(data) - position} trailing bytes after last chunk"
+            )
+        if seen_crc != structure_crc:
+            # Covers the dictionary, zone maps and every chunk's metadata
+            # fields -- tampered structure must not be silently ingested,
+            # nor allowed to mis-prune a time-range read.
+            raise ColumnarFormatError("garbled .sgx extract: structure checksum mismatch")
+
+    return interval, dictionary, chunks()
+
+
+def frame_from_sgx_bytes(
+    data: bytes,
+    interval_minutes: int | None = None,
+    start_minute: int | None = None,
+    end_minute: int | None = None,
+) -> LoadFrame:
+    """Deserialise ``.sgx`` bytes into a :class:`LoadFrame`.
+
+    ``interval_minutes`` defaults to the interval recorded in the header.
+    When ``start_minute``/``end_minute`` bound a half-open time range,
+    chunks whose zone map falls outside it are skipped without reading or
+    verifying their payload, and overlapping chunks are cut to the range;
+    servers with no samples in range are omitted from the result.
+    """
+    data = bytes(data) if isinstance(data, (bytearray, memoryview)) else data
+    interval, dictionary, chunks = _parse_structure(data)
+    if interval_minutes is None:
+        interval_minutes = interval
+
+    pruning = start_minute is not None or end_minute is not None
+    range_lo = start_minute if start_minute is not None else -(1 << 62)
+    range_hi = end_minute if end_minute is not None else (1 << 62)
+
+    frame = LoadFrame(interval_minutes)
+    view = memoryview(data)
+    for server_id, fields, payload_offset in chunks:
+        (
+            region_idx,
+            engine_idx,
+            true_class_idx,
+            backup_start,
+            backup_end,
+            backup_duration,
+            n_points,
+            min_ts,
+            max_ts,
+            payload_crc,
+        ) = fields
+        payload_bytes = n_points * 16
+
+        if pruning and (n_points == 0 or max_ts < range_lo or min_ts >= range_hi):
+            continue  # zone-map pruned: payload untouched, checksum unverified
+
+        if zlib.crc32(view[payload_offset : payload_offset + payload_bytes]) != payload_crc:
+            raise ColumnarFormatError(
+                f"garbled .sgx extract: chunk checksum mismatch for {server_id!r}"
+            )
+        timestamps = np.frombuffer(data, dtype="<i8", count=n_points, offset=payload_offset)
+        values = np.frombuffer(
+            data, dtype="<f8", count=n_points, offset=payload_offset + 8 * n_points
+        )
+        if pruning:
+            if min_ts < range_lo or max_ts >= range_hi:
+                lo = int(np.searchsorted(timestamps, range_lo, side="left"))
+                hi = int(np.searchsorted(timestamps, range_hi, side="left"))
+                if lo == hi:
+                    continue
+                timestamps = timestamps[lo:hi]
+                values = values[lo:hi]
+            # A partial read keeps a small fraction of the file; copying
+            # the kept slices releases the full file buffer (frombuffer
+            # views would pin it for the frame's lifetime).  Full reads
+            # stay zero-copy -- there the frame spans the buffer anyway.
+            timestamps = timestamps.copy()
+            values = values.copy()
+        if server_id in frame:
+            raise ColumnarFormatError(
+                f"garbled .sgx extract: duplicate chunk for server {server_id!r}"
+            )
+        metadata = ServerMetadata(
+            server_id=server_id,
+            region=_dict_lookup(dictionary, region_idx, "region"),
+            engine=_dict_lookup(dictionary, engine_idx, "engine"),
+            default_backup_start=backup_start,
+            default_backup_end=backup_end,
+            backup_duration_minutes=backup_duration,
+            true_class=_dict_lookup(dictionary, true_class_idx, "true class"),
+        )
+        frame.add_server(
+            metadata, LoadSeries(timestamps, values, interval_minutes, validate=False)
+        )
+    return frame
+
+
+def read_frame_sgx(
+    path: str | Path,
+    interval_minutes: int | None = None,
+    start_minute: int | None = None,
+    end_minute: int | None = None,
+) -> LoadFrame:
+    """Read an ``.sgx`` extract from ``path``."""
+    return frame_from_sgx_bytes(
+        Path(path).read_bytes(), interval_minutes, start_minute, end_minute
+    )
+
+
+# --------------------------------------------------------------------- #
+# Inspection
+# --------------------------------------------------------------------- #
+
+
+def sgx_summary(data: bytes) -> dict[str, object]:
+    """Describe ``.sgx`` bytes without verifying payload checksums.
+
+    Returns header fields plus one zone-map entry per chunk -- the
+    inspection hook for tests and debugging (cheap: payloads are skipped,
+    not read).
+    """
+    data = bytes(data) if isinstance(data, (bytearray, memoryview)) else data
+    interval, dictionary, chunk_iter = _parse_structure(data)
+    chunks: list[dict[str, object]] = []
+    total_points = 0
+    for server_id, fields, _payload_offset in chunk_iter:
+        n_points, min_ts, max_ts = fields[6], fields[7], fields[8]
+        total_points += n_points
+        chunks.append(
+            {"server_id": server_id, "n_points": n_points, "min_ts": min_ts, "max_ts": max_ts}
+        )
+    return {
+        "version": VERSION,
+        "interval_minutes": interval,
+        "n_servers": len(chunks),
+        "n_dictionary_strings": len(dictionary),
+        "n_points": total_points,
+        "n_bytes": len(data),
+        "chunks": chunks,
+    }

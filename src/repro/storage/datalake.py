@@ -1,11 +1,23 @@
 """Partitioned extract store standing in for Azure Data Lake Store.
 
-The load-extraction query writes one CSV file per ``(region, week)``; the
-AML pipeline later picks up the extract for the region it is scheduled on
-(Section 2.2).  :class:`DataLakeStore` reproduces that contract on the local
-filesystem (or purely in memory for tests) with listing, existence checks
-and simple access control mirroring the "location of input data in ADLS and
-access rights to this data" knobs called out in Section 2.4.
+The load-extraction query writes one extract file per ``(region, week)``;
+the AML pipeline later picks up the extract for the region it is scheduled
+on (Section 2.2).  :class:`DataLakeStore` reproduces that contract on the
+local filesystem (or purely in memory for tests) with listing, existence
+checks and simple access control mirroring the "location of input data in
+ADLS and access rights to this data" knobs called out in Section 2.4.
+
+Extracts exist in two formats and the store negotiates between them:
+
+* ``csv`` -- the paper's row-oriented text schema (Section 5.3.1);
+* ``sgx`` -- the binary columnar format of :mod:`repro.storage.columnar`
+  (zero-copy ingestion, zone-map-pruned time-range reads).
+
+Writes go to the store's ``write_format`` (and drop the other format's
+now-stale copy); reads prefer ``.sgx`` when both exist and fall back to a
+co-located CSV when an ``.sgx`` file is damaged.  Fingerprints, sizes,
+listing and deletion cover both formats, and every accessor -- including
+the metadata ones -- enforces the principal allow-list.
 """
 
 from __future__ import annotations
@@ -14,9 +26,14 @@ import hashlib
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.storage import csv_io
+from repro.storage import columnar, csv_io
+from repro.storage.columnar import ColumnarFormatError
 from repro.timeseries.calendar import DEFAULT_INTERVAL_MINUTES
 from repro.timeseries.frame import LoadFrame
+
+#: Known extract formats, in read-preference order: the columnar format
+#: ingests an order of magnitude faster, so it wins when both exist.
+EXTRACT_FORMATS = ("sgx", "csv")
 
 
 class ExtractNotFoundError(KeyError):
@@ -34,12 +51,19 @@ class ExtractKey:
     region: str
     week: int
 
-    def filename(self) -> str:
-        return f"extract_{self.region}_week{self.week:04d}.csv"
+    def filename(self, fmt: str = "csv") -> str:
+        return f"extract_{self.region}_week{self.week:04d}.{fmt}"
+
+
+def check_format(fmt: str) -> str:
+    """Validate an extract format name; returns it for chaining."""
+    if fmt not in EXTRACT_FORMATS:
+        raise ValueError(f"unknown extract format {fmt!r}; expected one of {EXTRACT_FORMATS}")
+    return fmt
 
 
 class DataLakeStore:
-    """Weekly per-region CSV extract store.
+    """Weekly per-region extract store with CSV / ``.sgx`` negotiation.
 
     Parameters
     ----------
@@ -48,20 +72,27 @@ class DataLakeStore:
         extracts purely in memory, which is what the unit tests and most
         benchmarks use.
     granted_principals:
-        Optional allow-list of principal names.  When set, every read/write
-        must pass a ``principal`` that is in the list.
+        Optional allow-list of principal names.  When set, every operation
+        (reads, writes and metadata accessors alike) must pass a
+        ``principal`` that is in the list.
+    write_format:
+        Format new extracts are written in (``"csv"`` by default; pass
+        ``"sgx"`` for columnar lakes).  Reading negotiates independently
+        of this setting.
     """
 
     def __init__(
         self,
         root: str | Path | None = None,
         granted_principals: set[str] | None = None,
+        write_format: str = "csv",
     ) -> None:
         self._root = Path(root) if root is not None else None
         if self._root is not None:
             self._root.mkdir(parents=True, exist_ok=True)
-        self._memory: dict[ExtractKey, str] = {}
+        self._memory: dict[ExtractKey, dict[str, bytes]] = {}
         self._granted = set(granted_principals) if granted_principals is not None else None
+        self._write_format = check_format(write_format)
 
     # ------------------------------------------------------------------ #
 
@@ -69,6 +100,21 @@ class DataLakeStore:
     def root(self) -> Path | None:
         """Filesystem root of the store (``None`` for in-memory stores)."""
         return self._root
+
+    @property
+    def write_format(self) -> str:
+        """Format new extracts are persisted in."""
+        return self._write_format
+
+    def check_access(self, principal: str | None = None) -> None:
+        """Raise :class:`AccessDeniedError` unless ``principal`` is granted.
+
+        An explicit probe for coordinators (e.g. the fleet orchestrator)
+        that hand work to out-of-process workers which reopen disk lakes
+        from the root path without the in-memory allow-list -- the
+        coordinator checks once up front, whatever unit list it was given.
+        """
+        self._check_access(principal)
 
     def _check_access(self, principal: str | None) -> None:
         if self._granted is None:
@@ -78,9 +124,40 @@ class DataLakeStore:
                 f"principal {principal!r} is not granted access to this data lake"
             )
 
-    def _path_for(self, key: ExtractKey) -> Path:
+    def _path_for(self, key: ExtractKey, fmt: str) -> Path:
         assert self._root is not None
-        return self._root / key.region / key.filename()
+        return self._root / key.region / key.filename(fmt)
+
+    def _stored_formats(self, key: ExtractKey) -> tuple[str, ...]:
+        """Formats present for ``key``, in read-preference order."""
+        if self._root is None:
+            stored = self._memory.get(key, {})
+            return tuple(fmt for fmt in EXTRACT_FORMATS if fmt in stored)
+        return tuple(
+            fmt for fmt in EXTRACT_FORMATS if self._path_for(key, fmt).exists()
+        )
+
+    def _stored_bytes(self, key: ExtractKey, fmt: str) -> bytes:
+        if self._root is None:
+            return self._memory[key][fmt]
+        return self._path_for(key, fmt).read_bytes()
+
+    def _require_formats(self, key: ExtractKey) -> tuple[str, ...]:
+        formats = self._stored_formats(key)
+        if not formats:
+            raise ExtractNotFoundError(f"no extract for {key}")
+        return formats
+
+    def _resolve_format(self, key: ExtractKey, fmt: str | None) -> tuple[str, ...]:
+        """Stored formats to read ``key`` from: the preference-ordered list,
+        or just ``fmt`` when one is forced (must exist)."""
+        formats = self._require_formats(key)
+        if fmt is None:
+            return formats
+        check_format(fmt)
+        if fmt not in formats:
+            raise ExtractNotFoundError(f"no {fmt} extract for {key}")
+        return (fmt,)
 
     # ------------------------------------------------------------------ #
 
@@ -89,112 +166,223 @@ class DataLakeStore:
         key: ExtractKey,
         frame: LoadFrame,
         principal: str | None = None,
+        fmt: str | None = None,
+        keep_other_formats: bool = False,
     ) -> int:
-        """Persist ``frame`` as the extract for ``key``; returns rows written."""
+        """Persist ``frame`` as the extract for ``key``; returns rows written.
+
+        The extract is written in ``fmt`` (default: the store's
+        ``write_format``).  Copies of the same key in *other* formats are
+        removed -- they would otherwise serve stale content to readers --
+        unless ``keep_other_formats`` is set (the lake converter keeps the
+        source copy alive until the new one is verified).
+        """
         self._check_access(principal)
+        fmt = check_format(fmt if fmt is not None else self._write_format)
+        if fmt == "sgx":
+            payload = columnar.frame_to_sgx_bytes(frame)
+        else:
+            payload = csv_io.frame_to_csv_text(frame).encode("utf-8")
+        others = () if keep_other_formats else tuple(o for o in EXTRACT_FORMATS if o != fmt)
         if self._root is None:
-            text = csv_io.frame_to_csv_text(frame)
-            self._memory[key] = text
-            return max(0, text.count("\n") - 1)
-        return csv_io.write_frame_csv(frame, self._path_for(key))
+            slot = self._memory.setdefault(key, {})
+            slot[fmt] = payload
+            for other in others:
+                slot.pop(other, None)
+        else:
+            path = self._path_for(key, fmt)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            preference = {name: rank for rank, name in enumerate(EXTRACT_FORMATS)}
+            # Ordering bounds what a crash mid-write can leave behind: a
+            # stale copy that would out-prefer the new file goes *before*
+            # the write (worst case: a loud missing extract), one the new
+            # file shadows goes after (worst case: a harmless leftover).
+            # Never both files with the stale one winning reads.
+            for other in others:
+                if preference[other] < preference[fmt]:
+                    self._path_for(key, other).unlink(missing_ok=True)
+            path.write_bytes(payload)
+            for other in others:
+                if preference[other] > preference[fmt]:
+                    self._path_for(key, other).unlink(missing_ok=True)
+        return frame.total_points()
 
     def read_extract(
         self,
         key: ExtractKey,
-        interval_minutes: int = DEFAULT_INTERVAL_MINUTES,
+        interval_minutes: int | None = DEFAULT_INTERVAL_MINUTES,
         principal: str | None = None,
+        fmt: str | None = None,
+        start_minute: int | None = None,
+        end_minute: int | None = None,
     ) -> LoadFrame:
-        """Load the extract for ``key``; raises :class:`ExtractNotFoundError`."""
+        """Load the extract for ``key``; raises :class:`ExtractNotFoundError`.
+
+        Reads negotiate the stored format: ``.sgx`` is preferred when both
+        exist, and a damaged ``.sgx`` file degrades to a co-located CSV
+        copy when one is available (otherwise the typed
+        :class:`~repro.storage.columnar.ColumnarFormatError` propagates).
+        ``interval_minutes=None`` means "the interval the extract itself
+        records" -- the ``.sgx`` header's value, or the 5-minute default
+        for CSV (whose schema does not carry one); the lake converter uses
+        this to preserve non-default intervals.  ``start_minute``/
+        ``end_minute`` cut the result to a half-open time range -- a
+        zone-map-pruned partial read for ``.sgx``, a post-parse slice for
+        CSV.  ``fmt`` forces one specific stored format.
+        """
         self._check_access(principal)
-        if self._root is None:
+        formats = self._resolve_format(key, fmt)
+        if formats[0] == "sgx":
             try:
-                text = self._memory[key]
-            except KeyError as exc:
-                raise ExtractNotFoundError(f"no extract for {key}") from exc
-            return csv_io.frame_from_csv_text(text, interval_minutes)
-        path = self._path_for(key)
-        if not path.exists():
-            raise ExtractNotFoundError(f"no extract for {key}")
-        return csv_io.read_frame_csv(path, interval_minutes)
+                return columnar.frame_from_sgx_bytes(
+                    self._stored_bytes(key, "sgx"),
+                    interval_minutes,
+                    start_minute=start_minute,
+                    end_minute=end_minute,
+                )
+            except ColumnarFormatError:
+                if "csv" not in formats:
+                    raise
+        frame = csv_io.frame_from_csv_text(
+            self._stored_bytes(key, "csv").decode("utf-8"),
+            interval_minutes if interval_minutes is not None else DEFAULT_INTERVAL_MINUTES,
+        )
+        if start_minute is not None or end_minute is not None:
+            frame = frame.slice_time(
+                start_minute if start_minute is not None else -(1 << 62),
+                end_minute if end_minute is not None else (1 << 62),
+            )
+            frame = frame.filter(lambda _metadata, series: not series.is_empty)
+        return frame
 
     def read_extract_text(self, key: ExtractKey, principal: str | None = None) -> str:
-        """Return the raw CSV text of the extract for ``key``."""
-        self._check_access(principal)
-        if self._root is None:
-            try:
-                return self._memory[key]
-            except KeyError as exc:
-                raise ExtractNotFoundError(f"no extract for {key}") from exc
-        path = self._path_for(key)
-        if not path.exists():
-            raise ExtractNotFoundError(f"no extract for {key}")
-        return path.read_text()
+        """Return the extract for ``key`` as CSV text.
 
-    def extract_fingerprint(self, key: ExtractKey) -> str:
-        """Hex sha256 digest of the raw extract bytes.
+        Extracts stored only in columnar form are decoded and re-serialised
+        to the canonical CSV schema, so callers that need row-oriented text
+        (exports, debugging) work regardless of the stored format.
+        """
+        self._check_access(principal)
+        formats = self._require_formats(key)
+        if "csv" in formats:
+            return self._stored_bytes(key, "csv").decode("utf-8")
+        frame = columnar.frame_from_sgx_bytes(self._stored_bytes(key, "sgx"))
+        return csv_io.frame_to_csv_text(frame)
+
+    def read_extract_bytes(
+        self, key: ExtractKey, principal: str | None = None, fmt: str | None = None
+    ) -> tuple[str, bytes]:
+        """Return ``(format, raw bytes)`` of the preferred stored copy,
+        or of one specific format when ``fmt`` is given.
+
+        This is what ships extracts to out-of-process fleet workers without
+        forcing a parse/re-serialise round trip in the coordinator.
+        """
+        self._check_access(principal)
+        fmt = self._resolve_format(key, fmt)[0]
+        return fmt, self._stored_bytes(key, fmt)
+
+    def extract_formats(
+        self, key: ExtractKey, principal: str | None = None
+    ) -> tuple[str, ...]:
+        """Formats stored for ``key`` in read-preference order (may be empty)."""
+        self._check_access(principal)
+        return self._stored_formats(key)
+
+    def extract_fingerprint(self, key: ExtractKey, principal: str | None = None) -> str:
+        """Hex sha256 digest of the preferred stored copy's raw bytes.
 
         Hashing the stored bytes is much cheaper than parsing the extract,
         which lets the fleet orchestrator decide "unchanged since last
-        run?" without paying the ingestion cost.
+        run?" without paying the ingestion cost.  The digest covers the
+        bytes the next read would ingest: converting a lake to ``.sgx``
+        changes fingerprints (the stored bytes changed) even though frame
+        content -- and therefore every stage-cache key -- is unchanged.
         """
+        self._check_access(principal)
+        fmt = self._require_formats(key)[0]
         digest = hashlib.sha256()
         if self._root is None:
-            try:
-                digest.update(self._memory[key].encode("utf-8"))
-            except KeyError as exc:
-                raise ExtractNotFoundError(f"no extract for {key}") from exc
+            digest.update(self._memory[key][fmt])
             return digest.hexdigest()
-        path = self._path_for(key)
-        if not path.exists():
-            raise ExtractNotFoundError(f"no extract for {key}")
-        with path.open("rb") as handle:
+        with self._path_for(key, fmt).open("rb") as handle:
             for chunk in iter(lambda: handle.read(1 << 20), b""):
                 digest.update(chunk)
         return digest.hexdigest()
 
-    def has_extract(self, key: ExtractKey) -> bool:
-        """Return whether an extract exists for ``key``."""
-        if self._root is None:
-            return key in self._memory
-        return self._path_for(key).exists()
+    def has_extract(self, key: ExtractKey, principal: str | None = None) -> bool:
+        """Return whether an extract exists for ``key`` in any format."""
+        self._check_access(principal)
+        return bool(self._stored_formats(key))
 
-    def list_extracts(self, region: str | None = None) -> list[ExtractKey]:
-        """List available extract keys, optionally restricted to a region."""
+    def list_extracts(
+        self, region: str | None = None, principal: str | None = None
+    ) -> list[ExtractKey]:
+        """List available extract keys, optionally restricted to a region.
+
+        A key stored in both formats is listed once.  The region component
+        is taken from the partition directory name (extracts live under
+        ``<root>/<region>/``), so region names containing ``_week`` parse
+        correctly; with ``region`` given, only that partition is scanned.
+        """
+        self._check_access(principal)
         if self._root is None:
-            keys = sorted(self._memory)
-        else:
-            keys = []
-            for path in sorted(self._root.glob("*/extract_*_week*.csv")):
-                stem = path.stem  # extract_<region>_week<NNNN>
-                middle = stem[len("extract_"):]
-                region_part, _, week_part = middle.rpartition("_week")
-                keys.append(ExtractKey(region=region_part, week=int(week_part)))
+            keys = sorted(key for key in self._memory if self._memory[key])
+            if region is not None:
+                keys = [key for key in keys if key.region == region]
+            return keys
         if region is not None:
-            keys = [key for key in keys if key.region == region]
-        return keys
+            region_dirs = [self._root / region]
+        else:
+            region_dirs = sorted(path for path in self._root.iterdir() if path.is_dir())
+        found: set[ExtractKey] = set()
+        for region_dir in region_dirs:
+            if not region_dir.is_dir():
+                continue
+            region_name = region_dir.name
+            prefix = f"extract_{region_name}_week"
+            for path in region_dir.iterdir():
+                if path.suffix.lstrip(".") not in EXTRACT_FORMATS:
+                    continue
+                week_part = path.stem[len(prefix):] if path.stem.startswith(prefix) else ""
+                if week_part.isdigit():
+                    found.add(ExtractKey(region=region_name, week=int(week_part)))
+        return sorted(found)
 
-    def extract_size_bytes(self, key: ExtractKey) -> int:
-        """Approximate size of the stored extract in bytes.
+    def extract_size_bytes(
+        self, key: ExtractKey, principal: str | None = None, fmt: str | None = None
+    ) -> int:
+        """Size in bytes of the preferred stored copy (what a read ingests),
+        or of one specific format when ``fmt`` is given.
 
         Region extract size is the scalability axis of Figure 12; the
         benchmark harness reports it alongside runtimes.
         """
-        if self._root is None:
-            try:
-                return len(self._memory[key].encode("utf-8"))
-            except KeyError as exc:
-                raise ExtractNotFoundError(f"no extract for {key}") from exc
-        path = self._path_for(key)
-        if not path.exists():
-            raise ExtractNotFoundError(f"no extract for {key}")
-        return path.stat().st_size
-
-    def delete_extract(self, key: ExtractKey, principal: str | None = None) -> None:
-        """Remove the extract for ``key`` if present."""
         self._check_access(principal)
+        fmt = self._resolve_format(key, fmt)[0]
         if self._root is None:
-            self._memory.pop(key, None)
+            return len(self._memory[key][fmt])
+        return self._path_for(key, fmt).stat().st_size
+
+    def delete_extract(
+        self, key: ExtractKey, principal: str | None = None, fmt: str | None = None
+    ) -> None:
+        """Remove the extract for ``key`` if present.
+
+        With ``fmt`` given only that format's copy is removed (the lake
+        converter uses this to drop the source format after verification);
+        otherwise every stored copy goes.
+        """
+        self._check_access(principal)
+        formats = (check_format(fmt),) if fmt is not None else EXTRACT_FORMATS
+        if self._root is None:
+            slot = self._memory.get(key)
+            if slot is None:
+                return
+            for name in formats:
+                slot.pop(name, None)
+            if not slot:
+                self._memory.pop(key, None)
             return
-        path = self._path_for(key)
-        if path.exists():
-            path.unlink()
+        for name in formats:
+            self._path_for(key, name).unlink(missing_ok=True)

@@ -25,6 +25,8 @@ class ExtractionReport:
     servers: int
     raw_rows: int
     extracted_points: int
+    extract_format: str = "csv"
+    extract_bytes: int = 0
 
     def as_dict(self) -> dict[str, object]:
         return {
@@ -33,6 +35,8 @@ class ExtractionReport:
             "servers": self.servers,
             "raw_rows": self.raw_rows,
             "extracted_points": self.extracted_points,
+            "extract_format": self.extract_format,
+            "extract_bytes": self.extract_bytes,
         }
 
 
@@ -86,6 +90,8 @@ class LoadExtractionQuery:
             servers=len(frame),
             raw_rows=raw_rows,
             extracted_points=frame.total_points(),
+            extract_format=self._lake.write_format,
+            extract_bytes=self._lake.extract_size_bytes(key),
         )
 
     def extract_weeks(self, region: str, weeks: range) -> list[ExtractionReport]:

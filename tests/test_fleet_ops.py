@@ -152,6 +152,36 @@ class TestOrchestratorRun:
             orchestrator.close()
         assert orchestrator.executor.closed
 
+    def test_access_controlled_lake_with_principal(self, tmp_path, fleet_spec):
+        lake = DataLakeStore(tmp_path / "lake", granted_principals={"seagull"})
+        spec_lake = DataLakeStore(tmp_path / "lake")  # same root, no ACL object
+        populate_lake(spec_lake, fleet_spec, weeks=[0])
+        with FleetOrchestrator(
+            lake, PipelineConfig(), principal="seagull"
+        ) as orchestrator:
+            report = orchestrator.run()
+        assert report.n_failed == 0
+
+    def test_access_controlled_lake_without_principal_denied(self, tmp_path, fleet_spec):
+        from repro.storage.datalake import AccessDeniedError
+
+        lake = DataLakeStore(tmp_path / "lake", granted_principals={"seagull"})
+        with FleetOrchestrator(lake, PipelineConfig()) as orchestrator:
+            with pytest.raises(AccessDeniedError):
+                orchestrator.run()
+            # Explicit unit lists must not bypass the gate either (disk
+            # workers reopen the lake without the allow-list).
+            with pytest.raises(AccessDeniedError):
+                orchestrator.run([ExtractKey("region-0", 0)])
+
+    def test_owned_parallel_executor_sized_by_fleet_heuristic(self, memory_lake):
+        with FleetOrchestrator(
+            memory_lake, PipelineConfig(), backend="threads"
+        ) as orchestrator:
+            orchestrator.run([ExtractKey("region-0", 0), ExtractKey("region-1", 0)])
+            # min(units, usable CPUs, cap) can never exceed the unit count.
+            assert orchestrator.executor.n_workers <= 2
+
     def test_external_executor_not_closed(self, memory_lake):
         from repro.parallel.executor import PartitionedExecutor
 
@@ -319,6 +349,258 @@ class TestFleetReportEdgeCases:
         assert report.n_units == 0
         assert report.predictability_rollup()["pct_predictable"] == 0.0
         assert report.render_text()
+
+
+class TestColumnarFleetRuns:
+    def test_sgx_memory_lake_matches_csv_lake(self, fleet_spec):
+        csv_lake = DataLakeStore()
+        sgx_lake = DataLakeStore(write_format="sgx")
+        populate_lake(csv_lake, fleet_spec, weeks=[0])
+        populate_lake(sgx_lake, fleet_spec, weeks=[0])
+        with FleetOrchestrator(csv_lake, PipelineConfig()) as orchestrator:
+            from_csv = orchestrator.run()
+        with FleetOrchestrator(sgx_lake, PipelineConfig()) as orchestrator:
+            from_sgx = orchestrator.run()
+        assert from_sgx.n_succeeded == from_csv.n_succeeded == 2
+        for csv_outcome, sgx_outcome in zip(from_csv.outcomes, from_sgx.outcomes):
+            assert sgx_outcome.summary == csv_outcome.summary
+            assert sgx_outcome.n_predictable == csv_outcome.n_predictable
+
+    def test_sgx_disk_lake_with_process_backend(self, tmp_path, fleet_spec):
+        lake = DataLakeStore(tmp_path / "lake", write_format="sgx")
+        populate_lake(lake, fleet_spec, weeks=[0])
+        with FleetOrchestrator(
+            lake, PipelineConfig(), backend="processes", n_workers=2
+        ) as orchestrator:
+            report = orchestrator.run()
+        assert report.n_failed == 0
+
+    def test_memory_lake_corrupt_sgx_falls_back_to_csv_copy(self, fleet_spec):
+        # The in-memory handoff must keep the lake's damaged-.sgx-degrades-
+        # to-CSV behaviour: workers get the CSV bytes as a fallback.
+        from repro.storage.columnar import frame_to_sgx_bytes
+
+        lake = DataLakeStore()
+        populate_lake(lake, fleet_spec, weeks=[0])
+        key = lake.list_extracts()[0]
+        frame = lake.read_extract(key)
+        lake.write_extract(key, frame, fmt="sgx", keep_other_formats=True)
+        damaged = bytearray(frame_to_sgx_bytes(frame))
+        damaged[-3] ^= 0xFF
+        lake._memory[key]["sgx"] = bytes(damaged)
+        with FleetOrchestrator(lake, PipelineConfig()) as orchestrator:
+            report = orchestrator.run([key])
+        assert report.n_failed == 0
+
+    def test_convert_refreshes_fingerprints_but_keeps_stage_cache(
+        self, tmp_path, fleet_spec
+    ):
+        """Converting the lake changes stored bytes (new unit fingerprints)
+        while frame content -- and so every stage-cache key -- is unchanged."""
+        from repro.storage.migrate import convert_lake
+
+        lake = DataLakeStore(tmp_path / "lake")
+        populate_lake(lake, fleet_spec, weeks=[0])
+        cache_dir = tmp_path / "cache"
+        with FleetOrchestrator(
+            lake, PipelineConfig(), cache_dir=cache_dir
+        ) as orchestrator:
+            orchestrator.run()
+            convert_lake(lake, "sgx", delete_source=True)
+            report = orchestrator.run()
+        assert report.cache_summary()["unit_hits"] == 0
+        for outcome in report.outcomes:
+            assert outcome.cache_events["features"] == "hit"
+            assert outcome.cache_events["train_infer"] == "hit"
+            assert outcome.cache_events["evaluation"] == "hit"
+
+
+class TestConvertCli:
+    def _csv_lake(self, tmp_path):
+        spec = default_fleet_spec(servers_per_region=(4, 3), weeks=4, seed=5)
+        lake = DataLakeStore(tmp_path / "lake")
+        populate_lake(lake, spec, weeks=range(2))
+        return lake
+
+    def test_convert_reports_rollup(self, capsys, tmp_path):
+        lake = self._csv_lake(tmp_path)
+        code = fleet_main(["convert", "--lake-dir", str(lake.root)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "4 extract(s) converted" in out
+        assert "rows" in out and "bytes" in out
+        for key in lake.list_extracts():
+            assert lake.extract_formats(key) == ("sgx", "csv")
+
+    def test_convert_delete_source_migrates_in_place(self, capsys, tmp_path):
+        lake = self._csv_lake(tmp_path)
+        before = {key: lake.read_extract(key).content_hash() for key in lake.list_extracts()}
+        code = fleet_main(
+            ["convert", "--lake-dir", str(lake.root), "--delete-source"]
+        )
+        assert code == 0
+        for key, content_hash in before.items():
+            assert lake.extract_formats(key) == ("sgx",)
+            assert lake.read_extract(key).content_hash() == content_hash
+
+    def test_convert_back_to_csv_is_lossless(self, capsys, tmp_path):
+        lake = self._csv_lake(tmp_path)
+        before = {key: lake.read_extract(key).content_hash() for key in lake.list_extracts()}
+        assert fleet_main(["convert", "--lake-dir", str(lake.root), "--delete-source"]) == 0
+        assert fleet_main(
+            ["convert", "--lake-dir", str(lake.root), "--to", "csv", "--delete-source"]
+        ) == 0
+        for key, content_hash in before.items():
+            assert lake.extract_formats(key) == ("csv",)
+            assert lake.read_extract(key).content_hash() == content_hash
+
+    def test_convert_is_idempotent(self, capsys, tmp_path):
+        lake = self._csv_lake(tmp_path)
+        assert fleet_main(["convert", "--lake-dir", str(lake.root)]) == 0
+        capsys.readouterr()
+        assert fleet_main(["convert", "--lake-dir", str(lake.root)]) == 0
+        assert "0 extract(s) converted, 4 already current" in capsys.readouterr().out
+
+    def test_convert_json_rollup(self, capsys, tmp_path):
+        lake = self._csv_lake(tmp_path)
+        code = fleet_main(["convert", "--lake-dir", str(lake.root), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_converted"] == 4
+        assert payload["rows_converted"] > 0
+        assert payload["bytes_out"] < payload["bytes_in"]  # columnar is smaller
+
+    def test_delete_source_cleans_up_dual_format_lake(self, capsys, tmp_path):
+        # A convert without --delete-source leaves both formats; a later
+        # --delete-source run must still remove the stale sources even
+        # though every key is already in the target format.
+        lake = self._csv_lake(tmp_path)
+        assert fleet_main(["convert", "--lake-dir", str(lake.root)]) == 0
+        assert all("csv" in lake.extract_formats(key) for key in lake.list_extracts())
+        capsys.readouterr()
+        assert fleet_main(["convert", "--lake-dir", str(lake.root), "--delete-source"]) == 0
+        for key in lake.list_extracts():
+            assert lake.extract_formats(key) == ("sgx",)
+        # The destructive run must say so, not read like a no-op.
+        out = capsys.readouterr().out
+        assert "Deleted 4 source copy(ies)" in out
+        assert "removed stale .csv copy" in out
+
+    def test_delete_source_refuses_on_diverged_copies(self, tmp_path):
+        from repro.storage.migrate import ConversionVerificationError, convert_lake
+
+        lake = self._csv_lake(tmp_path)
+        keys = lake.list_extracts()
+        convert_lake(lake, "sgx")
+        # Make one CSV copy diverge from its .sgx sibling.
+        frame = lake.read_extract(keys[0]).filter(lambda md, s: md.server_id != "")
+        frame.remove_server(frame.server_ids()[0])
+        lake.write_extract(keys[0], frame, fmt="csv", keep_other_formats=True)
+        with pytest.raises(ConversionVerificationError, match="disagrees"):
+            convert_lake(lake, "sgx", delete_source=True)
+        assert "csv" in lake.extract_formats(keys[0])  # source kept
+
+    def test_convert_to_csv_refuses_empty_series_server(self, tmp_path):
+        from repro.storage.migrate import ConversionVerificationError, convert_lake
+        from repro.timeseries.frame import LoadFrame, ServerMetadata
+        from repro.timeseries.series import LoadSeries
+
+        lake = DataLakeStore(tmp_path / "lake", write_format="sgx")
+        frame = LoadFrame(5)
+        frame.add_server(
+            ServerMetadata(server_id="retired", region="r0"), LoadSeries.empty(5)
+        )
+        lake.write_extract(ExtractKey("r0", 0), frame)
+        with pytest.raises(ConversionVerificationError, match="no samples"):
+            convert_lake(lake, "csv")
+        # Nothing half-written: the .sgx copy is still the only one.
+        assert lake.extract_formats(ExtractKey("r0", 0)) == ("sgx",)
+
+    def test_convert_missing_lake_dir_fails_without_creating_it(self, capsys, tmp_path):
+        missing = tmp_path / "no-such-lake"
+        assert fleet_main(["convert", "--lake-dir", str(missing)]) == 2
+        assert not missing.exists()
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_convert_unknown_region_fails(self, capsys, tmp_path):
+        lake = self._csv_lake(tmp_path)
+        code = fleet_main(
+            ["convert", "--lake-dir", str(lake.root), "--region", "regoin-0"]
+        )
+        assert code == 2
+        assert "has no partition" in capsys.readouterr().err
+
+    def _corrupt_sgx_file(self, lake, key):
+        path = lake.root / key.region / key.filename("sgx")
+        damaged = bytearray(path.read_bytes())
+        damaged[-3] ^= 0xFF
+        path.write_bytes(bytes(damaged))
+
+    def test_reconverts_damaged_target_from_healthy_source(self, tmp_path):
+        from repro.storage.migrate import convert_lake
+
+        lake = self._csv_lake(tmp_path)
+        key = lake.list_extracts()[0]
+        expected = lake.read_extract(key).content_hash()
+        convert_lake(lake, "sgx")  # dual-format lake
+        self._corrupt_sgx_file(lake, key)
+        # Re-running must not trust the damaged .sgx -- with or without
+        # verification, and even when deleting sources.
+        report = convert_lake(lake, "sgx", delete_source=True, verify=False)
+        assert report.n_converted == 1  # the damaged one, from its CSV
+        assert lake.extract_formats(key) == ("sgx",)
+        assert lake.read_extract(key).content_hash() == expected
+
+    def test_damaged_target_without_source_aborts_cleanly(self, capsys, tmp_path):
+        from repro.storage.migrate import convert_lake
+
+        lake = self._csv_lake(tmp_path)
+        key = lake.list_extracts()[0]
+        convert_lake(lake, "sgx", delete_source=True)
+        self._corrupt_sgx_file(lake, key)
+        # Library: typed error naming the problem.
+        from repro.storage.migrate import ConversionVerificationError
+
+        with pytest.raises(ConversionVerificationError, match="unreadable"):
+            convert_lake(lake, "sgx")
+        # CLI: documented exit code and message, not a traceback.
+        code = fleet_main(["convert", "--lake-dir", str(lake.root), "--to", "csv"])
+        assert code == 1
+        assert "conversion aborted" in capsys.readouterr().err
+
+    def test_convert_preserves_nondefault_interval(self, tmp_path):
+        from repro.storage.migrate import ConversionVerificationError, convert_lake
+        from repro.timeseries.frame import LoadFrame, ServerMetadata
+        from tests.helpers import make_series
+
+        lake = DataLakeStore(tmp_path / "lake", write_format="sgx")
+        frame = LoadFrame(10)
+        frame.add_server(
+            ServerMetadata(server_id="s0", region="r0"),
+            make_series([1.0, 2.0, 3.0], interval=10),
+        )
+        key = ExtractKey("r0", 0)
+        lake.write_extract(key, frame)
+        # Idempotent re-convert must keep the recorded 10-minute interval,
+        # not rewrite it to the 5-minute default.
+        convert_lake(lake, "sgx")
+        assert lake.read_extract(key, None).interval_minutes == 10
+        # The CSV schema cannot carry the interval; converting must refuse
+        # rather than silently degrade it -- with or without verification.
+        with pytest.raises(ConversionVerificationError, match="sampling interval"):
+            convert_lake(lake, "csv")
+        with pytest.raises(ConversionVerificationError, match="sampling interval"):
+            convert_lake(lake, "csv", verify=False, delete_source=True)
+        assert lake.extract_formats(key) == ("sgx",)
+
+    def test_convert_single_region(self, capsys, tmp_path):
+        lake = self._csv_lake(tmp_path)
+        code = fleet_main(
+            ["convert", "--lake-dir", str(lake.root), "--region", "region-1"]
+        )
+        assert code == 0
+        assert lake.extract_formats(ExtractKey("region-0", 0)) == ("csv",)
+        assert "sgx" in lake.extract_formats(ExtractKey("region-1", 0))
 
 
 class TestFleetCli:

@@ -93,6 +93,30 @@ class TestWorkerCountDefault:
     def test_default_worker_count_positive(self):
         assert default_worker_count() >= 1
 
+    def test_recommended_fleet_workers_never_exceeds_units(self):
+        from repro.parallel.executor import recommended_fleet_workers
+
+        assert recommended_fleet_workers(3, available=16) == 3
+        assert recommended_fleet_workers(1, available=16) == 1
+
+    def test_recommended_fleet_workers_never_exceeds_cores(self):
+        from repro.parallel.executor import recommended_fleet_workers
+
+        assert recommended_fleet_workers(100, available=4) == 4
+        assert recommended_fleet_workers(100, available=1) == 1
+
+    def test_recommended_fleet_workers_capped(self):
+        from repro.parallel.executor import MAX_FLEET_WORKERS, recommended_fleet_workers
+
+        assert recommended_fleet_workers(1000, available=64) == MAX_FLEET_WORKERS
+
+    def test_recommended_fleet_workers_degenerate_inputs(self):
+        from repro.parallel.executor import recommended_fleet_workers
+
+        assert recommended_fleet_workers(0) == 1
+        assert recommended_fleet_workers(-5, available=8) == 1
+        assert recommended_fleet_workers(4) >= 1  # host default path
+
     def test_safe_when_cpu_count_is_none(self, monkeypatch):
         monkeypatch.setattr(executor_module.os, "cpu_count", lambda: None)
         monkeypatch.delattr(executor_module.os, "sched_getaffinity", raising=False)

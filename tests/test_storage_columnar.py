@@ -1,0 +1,254 @@
+"""Unit tests for the binary columnar ``.sgx`` extract format."""
+
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.storage import columnar
+from repro.storage.columnar import (
+    HEADER_BYTES,
+    MAGIC,
+    ColumnarFormatError,
+    frame_from_sgx_bytes,
+    frame_to_sgx_bytes,
+    read_frame_sgx,
+    sgx_summary,
+    write_frame_sgx,
+)
+from repro.timeseries.frame import LoadFrame, ServerMetadata
+from repro.timeseries.series import LoadSeries
+
+from tests.helpers import make_series
+
+#: Bytes from a chunk's max_ts field to the end of its fixed header
+#: (max_ts i64 + payload_crc u32).
+_CHUNK_FIXED_TAIL = 12
+
+
+def build_frame(n_servers=3, points=12, interval=5) -> LoadFrame:
+    frame = LoadFrame(interval)
+    for index in range(n_servers):
+        metadata = ServerMetadata(
+            server_id=f"srv-{index}",
+            region="westus2",
+            engine=("postgresql", "mysql", "sql")[index % 3],
+            default_backup_start=60 * index,
+            default_backup_end=60 * index + 30,
+            backup_duration_minutes=45,
+            true_class=("stable", "daily", "")[index % 3],
+        )
+        values = np.linspace(0.0, 99.0, points) + index
+        frame.add_server(metadata, make_series(values, start=index * 1440, interval=interval))
+    return frame
+
+
+class TestRoundTrip:
+    def test_bytes_roundtrip_preserves_content_hash(self):
+        frame = build_frame()
+        restored = frame_from_sgx_bytes(frame_to_sgx_bytes(frame))
+        assert restored.content_hash() == frame.content_hash()
+
+    def test_roundtrip_preserves_metadata_exactly(self):
+        frame = build_frame()
+        restored = frame_from_sgx_bytes(frame_to_sgx_bytes(frame))
+        for server_id in frame.server_ids():
+            assert restored.metadata(server_id) == frame.metadata(server_id)
+
+    def test_roundtrip_preserves_values_bit_exactly(self):
+        frame = LoadFrame(5)
+        values = [0.1, 1 / 3, 2.5000000001, 99.99999999]
+        frame.add_server(ServerMetadata(server_id="s"), make_series(values))
+        restored = frame_from_sgx_bytes(frame_to_sgx_bytes(frame))
+        assert np.array_equal(restored.series("s").values, np.asarray(values))
+
+    def test_roundtrip_on_disk(self, tmp_path):
+        frame = build_frame()
+        path = tmp_path / "extract.sgx"
+        rows = write_frame_sgx(frame, path)
+        assert rows == frame.total_points()
+        assert read_frame_sgx(path).content_hash() == frame.content_hash()
+
+    def test_empty_frame_roundtrip(self):
+        frame = LoadFrame(5)
+        restored = frame_from_sgx_bytes(frame_to_sgx_bytes(frame))
+        assert len(restored) == 0
+        assert restored.interval_minutes == 5
+
+    def test_empty_series_roundtrip(self):
+        frame = LoadFrame(5)
+        frame.add_server(ServerMetadata(server_id="s"), LoadSeries.empty(5))
+        restored = frame_from_sgx_bytes(frame_to_sgx_bytes(frame))
+        assert restored.series("s").is_empty
+
+    def test_interval_taken_from_header_by_default(self):
+        frame = build_frame(interval=15)
+        assert frame_from_sgx_bytes(frame_to_sgx_bytes(frame)).interval_minutes == 15
+
+    def test_unicode_strings_roundtrip(self):
+        frame = LoadFrame(5)
+        metadata = ServerMetadata(server_id="sérvér-0", region="日本東部", engine="postgresql")
+        frame.add_server(metadata, make_series([1.0, 2.0]))
+        restored = frame_from_sgx_bytes(frame_to_sgx_bytes(frame))
+        assert restored.metadata("sérvér-0").region == "日本東部"
+
+    def test_dictionary_is_shared_across_servers(self):
+        # 20 servers, one region/engine: the strings are stored once.
+        many = build_frame(n_servers=20, points=1)
+        lone = build_frame(n_servers=1, points=1)
+        per_server = (len(frame_to_sgx_bytes(many)) - len(frame_to_sgx_bytes(lone))) / 19
+        encoded_meta = len("westus2") + len("postgresql")
+        assert per_server < 60 + 16 + 10 + encoded_meta  # no repeated strings
+
+
+class TestZoneMapPruning:
+    def test_time_range_read_cuts_series(self):
+        frame = build_frame(n_servers=1, points=288)  # one day from minute 0
+        data = frame_to_sgx_bytes(frame)
+        part = frame_from_sgx_bytes(data, start_minute=60, end_minute=120)
+        series = part.series("srv-0")
+        assert series.start >= 60 and series.end < 120
+
+    def test_non_overlapping_servers_are_omitted(self):
+        frame = build_frame(n_servers=3, points=12)  # server i starts at i*1440
+        data = frame_to_sgx_bytes(frame)
+        part = frame_from_sgx_bytes(data, start_minute=1440, end_minute=2880)
+        assert part.server_ids() == ["srv-1"]
+
+    def test_pruned_chunks_skip_checksum_verification(self):
+        frame = build_frame(n_servers=3, points=12)
+        data = bytearray(frame_to_sgx_bytes(frame))
+        # Corrupt the *last* server's payload (starts at minute 2*1440).
+        data[-4] ^= 0xFF
+        with pytest.raises(ColumnarFormatError):
+            frame_from_sgx_bytes(bytes(data))
+        # A range read that prunes that chunk never touches the damage.
+        part = frame_from_sgx_bytes(bytes(data), start_minute=0, end_minute=1440)
+        assert part.server_ids() == ["srv-0"]
+
+    def test_open_ended_ranges(self):
+        frame = build_frame(n_servers=3, points=12)
+        data = frame_to_sgx_bytes(frame)
+        assert frame_from_sgx_bytes(data, start_minute=2880).server_ids() == ["srv-2"]
+        assert frame_from_sgx_bytes(data, end_minute=1440).server_ids() == ["srv-0"]
+
+    def test_partial_read_does_not_pin_file_buffer(self):
+        frame = build_frame(n_servers=4, points=288)
+        data = frame_to_sgx_bytes(frame)
+        part = frame_from_sgx_bytes(data, start_minute=0, end_minute=60)
+        for server_id in part.server_ids():
+            for array in (part.series(server_id).timestamps, part.series(server_id).values):
+                owner = array
+                while getattr(owner, "base", None) is not None:
+                    owner = owner.base
+                # The kept slice must own its data, not reference the
+                # whole .sgx byte buffer.
+                assert not isinstance(owner, (bytes, bytearray, memoryview))
+
+    def test_full_range_equals_full_read(self):
+        frame = build_frame()
+        data = frame_to_sgx_bytes(frame)
+        part = frame_from_sgx_bytes(data, start_minute=0, end_minute=10 * 1440)
+        assert part.content_hash() == frame.content_hash()
+
+
+class TestCorruption:
+    def test_empty_bytes(self):
+        with pytest.raises(ColumnarFormatError, match="truncated"):
+            frame_from_sgx_bytes(b"")
+
+    def test_bad_magic(self):
+        data = bytearray(frame_to_sgx_bytes(build_frame()))
+        data[:4] = b"NOPE"
+        with pytest.raises(ColumnarFormatError, match="magic"):
+            frame_from_sgx_bytes(bytes(data))
+
+    def test_csv_bytes_are_rejected(self):
+        with pytest.raises(ColumnarFormatError):
+            frame_from_sgx_bytes(b"server_id,timestamp_minutes,avg_cpu_percent\n" * 10)
+
+    def test_truncated_header(self):
+        data = frame_to_sgx_bytes(build_frame())
+        with pytest.raises(ColumnarFormatError, match="truncated"):
+            frame_from_sgx_bytes(data[: HEADER_BYTES - 4])
+
+    def test_truncated_body(self):
+        data = frame_to_sgx_bytes(build_frame())
+        with pytest.raises(ColumnarFormatError, match="truncated"):
+            frame_from_sgx_bytes(data[:-10])
+
+    def test_header_field_tamper_detected_by_header_crc(self):
+        data = bytearray(frame_to_sgx_bytes(build_frame()))
+        # Inflate n_servers without fixing the header CRC.
+        struct.pack_into("<I", data, 12, 9999)
+        with pytest.raises(ColumnarFormatError, match="header checksum"):
+            frame_from_sgx_bytes(bytes(data))
+
+    def test_unsupported_version(self):
+        data = bytearray(frame_to_sgx_bytes(build_frame()))
+        crc_offset = HEADER_BYTES - 4  # header CRC is the last header field
+        struct.pack_into("<H", data, 4, 99)
+        struct.pack_into("<I", data, crc_offset, zlib.crc32(bytes(data[:crc_offset])))
+        with pytest.raises(ColumnarFormatError, match="version"):
+            frame_from_sgx_bytes(bytes(data))
+
+    def test_payload_bit_flip_detected(self):
+        data = bytearray(frame_to_sgx_bytes(build_frame()))
+        data[-1] ^= 0x01
+        with pytest.raises(ColumnarFormatError, match="checksum"):
+            frame_from_sgx_bytes(bytes(data))
+
+    def test_appended_garbage_detected(self):
+        data = frame_to_sgx_bytes(build_frame())
+        with pytest.raises(ColumnarFormatError):
+            frame_from_sgx_bytes(data + b"extra")
+
+    def test_zone_map_tamper_detected_even_on_pruned_reads(self):
+        frame = build_frame(n_servers=1, points=12)
+        data = bytearray(frame_to_sgx_bytes(frame))
+        # max_ts sits in the 8 bytes just before the payload CRC at the
+        # end of the single chunk's fixed header.
+        idx = len(data) - 12 * 16 - _CHUNK_FIXED_TAIL
+        data[idx] ^= 0xFF
+        with pytest.raises(ColumnarFormatError, match="structure checksum"):
+            frame_from_sgx_bytes(bytes(data))
+        # A time-range read must not trust the tampered zone map either.
+        with pytest.raises(ColumnarFormatError, match="structure checksum"):
+            frame_from_sgx_bytes(bytes(data), start_minute=0, end_minute=1)
+
+    def test_dictionary_tamper_detected(self):
+        data = bytearray(frame_to_sgx_bytes(build_frame()))
+        # Flip a bit inside the first dictionary string ("westus2" -> a
+        # different, still-valid region name).
+        data[HEADER_BYTES + 3] ^= 0x01
+        with pytest.raises(ColumnarFormatError, match="structure checksum"):
+            frame_from_sgx_bytes(bytes(data))
+        with pytest.raises(ColumnarFormatError, match="structure checksum"):
+            sgx_summary(bytes(data))
+
+    def test_error_is_a_value_error(self):
+        # Ingestion error handling catches ValueError; the typed error
+        # must stay inside that hierarchy.
+        assert issubclass(ColumnarFormatError, ValueError)
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        frame = build_frame(n_servers=2, points=7)
+        info = sgx_summary(frame_to_sgx_bytes(frame))
+        assert info["version"] == columnar.VERSION
+        assert info["n_servers"] == 2
+        assert info["n_points"] == 14
+        assert info["interval_minutes"] == 5
+        assert len(info["chunks"]) == 2
+
+    def test_summary_zone_maps(self):
+        frame = build_frame(n_servers=2, points=12)
+        chunk = sgx_summary(frame_to_sgx_bytes(frame))["chunks"][1]
+        series = frame.series("srv-1")
+        assert chunk["min_ts"] == series.start
+        assert chunk["max_ts"] == series.end
+
+    def test_magic_prefix(self):
+        assert frame_to_sgx_bytes(build_frame()).startswith(MAGIC)

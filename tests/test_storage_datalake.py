@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.storage.columnar import ColumnarFormatError, frame_to_sgx_bytes
 from repro.storage.datalake import (
     AccessDeniedError,
     DataLakeStore,
@@ -105,10 +106,254 @@ class TestAccessControl:
         store.write_extract(key, small_frame(), principal="seagull")
         assert len(store.read_extract(key, principal="seagull")) == 2
 
+    def test_metadata_accessors_enforce_access(self):
+        # extract_fingerprint / extract_size_bytes / has_extract /
+        # list_extracts historically bypassed the allow-list, leaking
+        # existence, size and change signals to ungranted callers.
+        store = DataLakeStore(granted_principals={"seagull"})
+        key = ExtractKey("r0", 0)
+        store.write_extract(key, small_frame(), principal="seagull")
+        for call in (
+            lambda: store.extract_fingerprint(key),
+            lambda: store.extract_size_bytes(key),
+            lambda: store.has_extract(key),
+            lambda: store.list_extracts(),
+            lambda: store.read_extract_bytes(key),
+            lambda: store.extract_formats(key),
+            lambda: store.delete_extract(key),
+        ):
+            with pytest.raises(AccessDeniedError):
+                call()
+
+    def test_metadata_accessors_allow_granted_principal(self):
+        store = DataLakeStore(granted_principals={"seagull"})
+        key = ExtractKey("r0", 0)
+        store.write_extract(key, small_frame(), principal="seagull")
+        assert store.has_extract(key, principal="seagull")
+        assert store.list_extracts(principal="seagull") == [key]
+        assert store.extract_fingerprint(key, principal="seagull")
+        assert store.extract_size_bytes(key, principal="seagull") > 0
+
+
+class TestListExtractParsing:
+    def test_region_name_containing_week_parses_from_directory(self, tmp_path):
+        # rpartition("_week") on the stem used to split inside the region
+        # name; the directory name is authoritative.
+        store = DataLakeStore(tmp_path)
+        key = ExtractKey("east_weekly_zone", 3)
+        store.write_extract(key, small_frame())
+        assert store.list_extracts() == [key]
+        assert store.list_extracts("east_weekly_zone") == [key]
+
+    def test_region_filter_scans_only_that_directory(self, tmp_path):
+        store = DataLakeStore(tmp_path)
+        store.write_extract(ExtractKey("r0", 0), small_frame())
+        store.write_extract(ExtractKey("r1", 1), small_frame())
+        assert store.list_extracts("r0") == [ExtractKey("r0", 0)]
+        assert store.list_extracts("missing-region") == []
+
+    def test_foreign_files_are_ignored(self, tmp_path):
+        store = DataLakeStore(tmp_path)
+        store.write_extract(ExtractKey("r0", 0), small_frame())
+        (tmp_path / "r0" / "notes.txt").write_text("not an extract")
+        (tmp_path / "r0" / "extract_other_week0001.csv").write_text("wrong region prefix")
+        (tmp_path / "_manifest.json").write_text("{}")
+        assert store.list_extracts() == [ExtractKey("r0", 0)]
+
+
+class TestFormatNegotiation:
+    @pytest.mark.parametrize("root", [None, "disk"])
+    def test_sgx_write_and_read(self, tmp_path, root):
+        store = DataLakeStore(tmp_path if root else None, write_format="sgx")
+        key = ExtractKey("r0", 2)
+        rows = store.write_extract(key, small_frame())
+        assert rows == 4  # 2 servers x 2 points
+        assert store.extract_formats(key) == ("sgx",)
+        loaded = store.read_extract(key)
+        assert loaded.content_hash() == small_frame().content_hash()
+
+    @pytest.mark.parametrize("root", [None, "disk"])
+    def test_sgx_preferred_over_csv(self, tmp_path, root):
+        store = DataLakeStore(tmp_path if root else None)
+        key = ExtractKey("r0", 0)
+        store.write_extract(key, small_frame())
+        store.write_extract(key, small_frame(3), fmt="sgx", keep_other_formats=True)
+        assert store.extract_formats(key) == ("sgx", "csv")
+        assert len(store.read_extract(key)) == 3  # the .sgx copy wins
+        fmt, payload = store.read_extract_bytes(key)
+        assert fmt == "sgx" and payload.startswith(b"SGXF")
+
+    def test_write_drops_stale_other_format(self, tmp_path):
+        store = DataLakeStore(tmp_path)
+        key = ExtractKey("r0", 0)
+        store.write_extract(key, small_frame(), fmt="sgx")
+        store.write_extract(key, small_frame(3), fmt="csv")
+        # The .sgx copy would be stale; it must be gone.
+        assert store.extract_formats(key) == ("csv",)
+        assert len(store.read_extract(key)) == 3
+
+    def test_mixed_lake_lists_each_key_once(self, tmp_path):
+        store = DataLakeStore(tmp_path)
+        store.write_extract(ExtractKey("r0", 0), small_frame(), fmt="csv")
+        store.write_extract(ExtractKey("r0", 1), small_frame(), fmt="sgx")
+        store.write_extract(ExtractKey("r1", 0), small_frame(), fmt="sgx")
+        store.write_extract(ExtractKey("r1", 0), small_frame(), fmt="csv", keep_other_formats=True)
+        assert store.list_extracts() == [
+            ExtractKey("r0", 0),
+            ExtractKey("r0", 1),
+            ExtractKey("r1", 0),
+        ]
+
+    def test_mixed_lake_reads_consistently(self, tmp_path):
+        store = DataLakeStore(tmp_path)
+        frame = small_frame()
+        store.write_extract(ExtractKey("r0", 0), frame, fmt="csv")
+        store.write_extract(ExtractKey("r0", 1), frame, fmt="sgx")
+        csv_frame = store.read_extract(ExtractKey("r0", 0))
+        sgx_frame = store.read_extract(ExtractKey("r0", 1))
+        assert csv_frame.content_hash() == sgx_frame.content_hash()
+
+    def test_fingerprint_covers_stored_bytes(self, tmp_path):
+        store = DataLakeStore(tmp_path)
+        key = ExtractKey("r0", 0)
+        store.write_extract(key, small_frame(), fmt="csv")
+        csv_fingerprint = store.extract_fingerprint(key)
+        store.write_extract(key, small_frame(), fmt="sgx", keep_other_formats=True)
+        # Same content, different stored representation: new fingerprint.
+        assert store.extract_fingerprint(key) != csv_fingerprint
+
+    def test_size_reports_preferred_format(self, tmp_path):
+        store = DataLakeStore(tmp_path)
+        key = ExtractKey("r0", 0)
+        store.write_extract(key, small_frame(), fmt="csv")
+        csv_size = store.extract_size_bytes(key)
+        store.write_extract(key, small_frame(), fmt="sgx", keep_other_formats=True)
+        assert store.extract_size_bytes(key) != csv_size
+        assert store.extract_size_bytes(key, fmt="csv") == csv_size
+
+    def test_delete_removes_all_formats(self, tmp_path):
+        store = DataLakeStore(tmp_path)
+        key = ExtractKey("r0", 0)
+        store.write_extract(key, small_frame(), fmt="csv")
+        store.write_extract(key, small_frame(), fmt="sgx", keep_other_formats=True)
+        store.delete_extract(key)
+        assert not store.has_extract(key)
+        assert store.list_extracts() == []
+
+    def test_delete_single_format(self):
+        store = DataLakeStore()
+        key = ExtractKey("r0", 0)
+        store.write_extract(key, small_frame(), fmt="csv")
+        store.write_extract(key, small_frame(), fmt="sgx", keep_other_formats=True)
+        store.delete_extract(key, fmt="sgx")
+        assert store.extract_formats(key) == ("csv",)
+
+    def test_read_extract_text_decodes_columnar(self):
+        store = DataLakeStore(write_format="sgx")
+        key = ExtractKey("r0", 0)
+        store.write_extract(key, small_frame())
+        text = store.read_extract_text(key)
+        assert text.startswith("server_id,")
+        assert "s0" in text
+
+    def test_unknown_format_rejected(self):
+        store = DataLakeStore()
+        with pytest.raises(ValueError, match="unknown extract format"):
+            store.write_extract(ExtractKey("r0", 0), small_frame(), fmt="parquet")
+        with pytest.raises(ValueError, match="unknown extract format"):
+            DataLakeStore(write_format="arrow")
+
+    def test_forced_format_read_missing_raises(self):
+        store = DataLakeStore()
+        key = ExtractKey("r0", 0)
+        store.write_extract(key, small_frame(), fmt="csv")
+        with pytest.raises(ExtractNotFoundError):
+            store.read_extract(key, fmt="sgx")
+
+
+class TestTimeRangeReads:
+    def frame_two_days(self):
+        frame = LoadFrame(5)
+        frame.add_server(
+            ServerMetadata(server_id="a", region="r0"),
+            make_series([1.0] * 288, start=0),
+        )
+        frame.add_server(
+            ServerMetadata(server_id="b", region="r0"),
+            make_series([2.0] * 288, start=1440),
+        )
+        return frame
+
+    @pytest.mark.parametrize("fmt", ["csv", "sgx"])
+    def test_partial_read_prunes_servers(self, tmp_path, fmt):
+        store = DataLakeStore(tmp_path, write_format=fmt)
+        key = ExtractKey("r0", 0)
+        store.write_extract(key, self.frame_two_days())
+        part = store.read_extract(key, start_minute=1440, end_minute=2880)
+        assert part.server_ids() == ["b"]
+        assert part.total_points() == 288
+
+    def test_partial_read_identical_across_formats(self, tmp_path):
+        frame = self.frame_two_days()
+        store = DataLakeStore(tmp_path)
+        store.write_extract(ExtractKey("r0", 0), frame, fmt="csv")
+        store.write_extract(ExtractKey("r0", 1), frame, fmt="sgx")
+        via_csv = store.read_extract(ExtractKey("r0", 0), start_minute=100, end_minute=700)
+        via_sgx = store.read_extract(ExtractKey("r0", 1), start_minute=100, end_minute=700)
+        assert via_csv.content_hash() == via_sgx.content_hash()
+
+
+class TestCorruptionFallback:
+    def _corrupt_sgx(self, store, key):
+        path = store.root / key.region / key.filename("sgx")
+        damaged = bytearray(path.read_bytes())
+        damaged[-3] ^= 0xFF
+        path.write_bytes(bytes(damaged))
+
+    def test_corrupt_sgx_falls_back_to_colocated_csv(self, tmp_path):
+        store = DataLakeStore(tmp_path)
+        key = ExtractKey("r0", 0)
+        frame = small_frame()
+        store.write_extract(key, frame, fmt="csv")
+        store.write_extract(key, frame, fmt="sgx", keep_other_formats=True)
+        self._corrupt_sgx(store, key)
+        assert store.read_extract(key).content_hash() == frame.content_hash()
+
+    def test_corrupt_sgx_without_csv_raises_typed_error(self, tmp_path):
+        store = DataLakeStore(tmp_path, write_format="sgx")
+        key = ExtractKey("r0", 0)
+        store.write_extract(key, small_frame())
+        self._corrupt_sgx(store, key)
+        with pytest.raises(ColumnarFormatError):
+            store.read_extract(key)
+
+    def test_truncated_sgx_header_raises_typed_error(self, tmp_path):
+        store = DataLakeStore(tmp_path, write_format="sgx")
+        key = ExtractKey("r0", 0)
+        store.write_extract(key, small_frame())
+        path = store.root / key.region / key.filename("sgx")
+        path.write_bytes(path.read_bytes()[:10])
+        with pytest.raises(ColumnarFormatError, match="truncated"):
+            store.read_extract(key)
+
+    def test_in_memory_corrupt_sgx_falls_back(self):
+        store = DataLakeStore()
+        key = ExtractKey("r0", 0)
+        frame = small_frame()
+        store.write_extract(key, frame, fmt="csv")
+        store.write_extract(key, frame, fmt="sgx", keep_other_formats=True)
+        damaged = bytearray(frame_to_sgx_bytes(frame))
+        damaged[-3] ^= 0xFF
+        store._memory[key]["sgx"] = bytes(damaged)
+        assert store.read_extract(key).content_hash() == frame.content_hash()
+
 
 class TestExtractKey:
     def test_filename_format(self):
         assert ExtractKey("eastus", 7).filename() == "extract_eastus_week0007.csv"
+
+    def test_filename_with_format(self):
+        assert ExtractKey("eastus", 7).filename("sgx") == "extract_eastus_week0007.sgx"
 
     def test_ordering(self):
         assert ExtractKey("a", 1) < ExtractKey("b", 0)
