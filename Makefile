@@ -1,10 +1,16 @@
 # Convenience targets mirroring .github/workflows/ci.yml.
 
-.PHONY: ci lint test bench-smoke fleet-demo
+.PHONY: ci hygiene lint test bench-smoke fleet-demo
 
-## Run every CI gate locally (lint + tests + benchmark smoke).
+## Run every CI gate locally (hygiene + lint + tests + benchmark smoke).
 ci:
 	bash scripts/ci.sh
+
+## Fail if compiled Python artifacts are committed (also part of `ci`).
+hygiene:
+	@if git ls-files | grep -E '__pycache__|\.py[cod]$$'; then \
+		echo "error: compiled Python artifacts are committed" >&2; exit 1; \
+	else echo "clean"; fi
 
 ## Ruff critical-error gate (requires ruff; CI installs it).
 lint:

@@ -16,6 +16,7 @@ import time
 
 from bench_utils import print_table
 from repro.fleet_ops.synthesis import populate_lake
+from repro.storage.columnar import SgxReadStats, frame_from_sgx_bytes, sgx_summary
 from repro.storage.datalake import DataLakeStore, ExtractKey
 from repro.storage.migrate import convert_lake
 from repro.telemetry.fleet import default_fleet_spec
@@ -26,6 +27,13 @@ SPEC_WEEKS = 2
 
 #: Required columnar speedup on cold ingestion (measured: ~100-300x).
 MIN_SPEEDUP = 3.0
+
+#: Required payload-verification saving of a 1-day partial read over a
+#: full read of a 7-day v2 extract (day chunks make ~7x achievable; the
+#: floor leaves room for servers that do not span the full week).
+MIN_PRUNED_BYTES_RATIO = 2.0
+
+DAY_MINUTES = 24 * 60
 
 
 def _dual_format_lake(tmp_path_factory) -> tuple[DataLakeStore, ExtractKey]:
@@ -86,6 +94,77 @@ def test_columnar_roundtrip_is_lossless(tmp_path_factory):
     convert_lake(lake, "csv", delete_source=True)
     assert lake.extract_formats(key) == ("csv",)
     assert lake.read_extract_text(key) == csv_text_before
+
+
+def test_columnar_partial_read_prunes_within_server(benchmark, tmp_path_factory):
+    """Format v2: a 1-day read of a 7-day extract verifies a fraction of
+    the payload bytes, because per-day chunks let zone maps prune inside
+    each server, not just across servers."""
+    spec = default_fleet_spec(servers_per_region=(N_SERVERS,), weeks=1, seed=311)
+    lake = DataLakeStore(tmp_path_factory.mktemp("chunked-lake"), write_format="sgx")
+    key = populate_lake(lake, spec, weeks=[0])[0]
+    fmt, raw = lake.read_extract_bytes(key)
+    assert fmt == "sgx"
+
+    # Per-server chunking is observable through the inspector walk.
+    info = sgx_summary(raw)
+    chunks_per_server: dict[str, int] = {}
+    for chunk in info["chunks"]:
+        chunks_per_server[chunk["server_id"]] = chunks_per_server.get(chunk["server_id"], 0) + 1
+    assert max(chunks_per_server.values()) >= 7  # a full-week server has day chunks
+
+    day_start = (
+        min(c["min_ts"] for c in info["chunks"] if c["n_points"]) // DAY_MINUTES
+    ) * DAY_MINUTES
+
+    def read_day_vs_week():
+        day_seconds = _best_of(
+            3,
+            lambda: frame_from_sgx_bytes(
+                raw, start_minute=day_start, end_minute=day_start + DAY_MINUTES
+            ),
+        )
+        week_seconds = _best_of(3, lambda: frame_from_sgx_bytes(raw))
+        return day_seconds, week_seconds
+
+    day_seconds, week_seconds = benchmark.pedantic(read_day_vs_week, rounds=1, iterations=1)
+
+    full_stats = SgxReadStats()
+    full = frame_from_sgx_bytes(raw, stats=full_stats)
+    day_stats = SgxReadStats()
+    one_day = frame_from_sgx_bytes(
+        raw, start_minute=day_start, end_minute=day_start + DAY_MINUTES, stats=day_stats
+    )
+    print_table(
+        "Within-server chunk pruning: 1-day vs 7-day read of one v2 extract",
+        ["read", "servers", "points", "chunks_pruned", "payload_bytes_verified", "seconds"],
+        [
+            [
+                "first day",
+                len(one_day),
+                one_day.total_points(),
+                day_stats.chunks_pruned,
+                day_stats.payload_bytes_verified,
+                day_seconds,
+            ],
+            [
+                "full week",
+                len(full),
+                full.total_points(),
+                full_stats.chunks_pruned,
+                full_stats.payload_bytes_verified,
+                week_seconds,
+            ],
+        ],
+    )
+    assert day_stats.chunks_pruned > 0
+    assert full_stats.payload_bytes_verified == full_stats.payload_bytes_total
+    ratio = full_stats.payload_bytes_verified / max(day_stats.payload_bytes_verified, 1)
+    assert ratio >= MIN_PRUNED_BYTES_RATIO, (
+        f"1-day read verified only {ratio:.1f}x fewer payload bytes than a full "
+        f"read (required >= {MIN_PRUNED_BYTES_RATIO}x)"
+    )
+    assert one_day.total_points() < full.total_points()
 
 
 def test_columnar_zone_map_pruned_read(benchmark, tmp_path_factory):

@@ -8,6 +8,15 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== repo hygiene (no compiled artifacts committed) =="
+if git ls-files | grep -E '__pycache__|\.py[cod]$' ; then
+    echo "error: compiled Python artifacts are committed; run" >&2
+    echo "  git rm -r --cached <paths above>" >&2
+    exit 1
+fi
+echo "clean"
+
+echo
 echo "== lint (ruff critical-error gate) =="
 if command -v ruff >/dev/null 2>&1; then
     ruff check .

@@ -107,6 +107,16 @@ def build_convert_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--region", default=None, help="convert only this region")
     parser.add_argument(
+        "--chunk-minutes",
+        type=int,
+        default=None,
+        dest="chunk_minutes",
+        help="chunking policy for .sgx targets: split each server's series at "
+        "absolute multiples of this many minutes (0 = one whole-series chunk; "
+        "default: the columnar layer's per-day policy). Passing it explicitly "
+        "also re-chunks extracts that are already .sgx v2",
+    )
+    parser.add_argument(
         "--delete-source",
         action="store_true",
         help="remove the source-format copy after (verified) conversion",
@@ -134,6 +144,9 @@ def convert_main(argv: list[str]) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.chunk_minutes is not None and args.chunk_minutes < 0:
+        print("--chunk-minutes must be non-negative", file=sys.stderr)
+        return 2
     lake = DataLakeStore(args.lake_dir)
     try:
         report = convert_lake(
@@ -142,6 +155,7 @@ def convert_main(argv: list[str]) -> int:
             region=args.region,
             delete_source=args.delete_source,
             verify=not args.no_verify,
+            chunk_minutes=args.chunk_minutes,
         )
     except (ConversionVerificationError, ValueError) as exc:
         # ValueError covers unreadable extracts (ColumnarFormatError,

@@ -21,10 +21,13 @@
 
 from repro.storage.artifacts import ArtifactCacheStats, ArtifactStore, artifact_key
 from repro.storage.columnar import (
+    DEFAULT_CHUNK_MINUTES,
     ColumnarFormatError,
+    SgxReadStats,
     frame_from_sgx_bytes,
     frame_to_sgx_bytes,
     read_frame_sgx,
+    sgx_version,
     write_frame_sgx,
 )
 from repro.storage.csv_io import read_frame_csv, write_frame_csv
@@ -39,7 +42,10 @@ __all__ = [
     "write_frame_sgx",
     "frame_from_sgx_bytes",
     "frame_to_sgx_bytes",
+    "sgx_version",
     "ColumnarFormatError",
+    "SgxReadStats",
+    "DEFAULT_CHUNK_MINUTES",
     "EXTRACT_FORMATS",
     "DataLakeStore",
     "ExtractKey",

@@ -6,67 +6,99 @@ the way the pipeline consumes it -- per-server columns of raw
 little-endian ``int64`` timestamps and ``float64`` CPU values -- so a read
 is a :func:`numpy.frombuffer` over the file bytes instead of a row loop.
 
-Layout (all integers little-endian)::
+Format v2 layout (all integers little-endian)::
 
     header   magic "SGXF" | version u16 | flags u16 | interval u32
              | n_servers u32 | n_dict u32 | file_length u64
              | structure_crc u32 | header_crc u32
     dict     n_dict strings (u16 length + UTF-8 bytes); region / engine /
              true-class values are stored once and referenced by index
-    chunks   one per server:
+    servers  one record per server:
                server_id (u16 length + UTF-8 bytes)
                region_idx u32 | engine_idx u32 | true_class_idx u32
                backup_start i64 | backup_end i64 | backup_duration u32
-               n_points u64 | min_ts i64 | max_ts i64 | payload_crc u32
-               timestamps  n_points x i64
-               values      n_points x f64
+               n_chunks u32
+               n_chunks x (n_points u64 | min_ts i64 | max_ts i64
+                           | payload_crc u32)
+               n_chunks payloads, each:
+                 timestamps  n_points x i64
+                 values      n_points x f64
 
-Every chunk carries a **zone map** (``min_ts``/``max_ts``): a time-range
-read (:func:`frame_from_sgx_bytes` with ``start_minute``/``end_minute``)
-skips non-overlapping chunks without touching -- or checksum-verifying --
-their payload bytes.  Three checksums cover everything that *is*
-ingested: ``header_crc`` over the fixed header, ``structure_crc`` over
-the dictionary and every chunk header (so tampered zone maps, metadata
-fields or dictionary strings cannot be silently loaded -- pruning
-decisions are only trusted once the structure verifies), and a per-chunk
-``payload_crc`` over the column buffers actually read.  Any damage (bad
-magic, truncation, checksum mismatch, out-of-range dictionary index)
-raises the typed :class:`ColumnarFormatError` so callers can degrade to
-a CSV fallback.
+The writer splits each server's series at absolute ``chunk_minutes``
+boundaries (default: one chunk per day), so every chunk carries its own
+**zone map** (``min_ts``/``max_ts``) and payload CRC.  A time-range read
+(:func:`frame_from_sgx_bytes` with ``start_minute``/``end_minute``) skips
+non-overlapping chunks without touching -- or checksum-verifying -- their
+payload bytes, then merges a server's surviving chunks back into one
+series: pruning works *within* a server, so a 1-day read of a 7-day
+extract verifies ~1/7 of the payload.  Format v1 (one chunk per server,
+chunk header and payload inline) remains fully readable.
+
+Zone maps are only trustworthy for sorted data: the writer refuses
+non-strictly-increasing timestamps (they would round-trip with a wrong
+zone map and be silently mis-pruned), and three checksums cover
+everything that *is* ingested: ``header_crc`` over the fixed header,
+``structure_crc`` over the dictionary and every server/chunk header (so
+tampered zone maps, metadata fields or dictionary strings cannot be
+silently loaded -- pruning decisions are only trusted once the structure
+verifies), and a per-chunk ``payload_crc`` over the column buffers
+actually read.  Any damage (bad magic, truncation, checksum mismatch,
+out-of-range dictionary index, out-of-order chunks) raises the typed
+:class:`ColumnarFormatError` so callers can degrade to a CSV fallback.
 """
 
 from __future__ import annotations
 
 import struct
 import zlib
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
+from repro.timeseries.calendar import MINUTES_PER_DAY
 from repro.timeseries.frame import LoadFrame, ServerMetadata
 from repro.timeseries.series import LoadSeries
 
 MAGIC = b"SGXF"
-VERSION = 1
+#: Version the writer emits.
+VERSION = 2
+#: Versions the reader accepts.
+SUPPORTED_VERSIONS = (1, 2)
+
+#: Default writer chunking policy: one chunk per day, so zone maps prune
+#: day-granular time-range reads within a server.  Pass ``0`` for a
+#: single whole-series chunk.
+DEFAULT_CHUNK_MINUTES = MINUTES_PER_DAY
 
 #: magic 4s | version u16 | flags u16 | interval u32 | n_servers u32
 #: | n_dict u32 | file_length u64 | structure_crc u32 -- followed by a
 #: u32 CRC of these bytes.  ``structure_crc`` covers the dictionary
-#: section plus every chunk header (everything between the header and the
-#: payloads), so zone maps and metadata are tamper-evident even though
-#: pruned payloads are never read.
+#: section plus every server record header and chunk-header table
+#: (everything between the header and the payloads), so zone maps and
+#: metadata are tamper-evident even though pruned payloads are never
+#: read.
 _HEADER = struct.Struct("<4sHHIIIQI")
 _HEADER_CRC = struct.Struct("<I")
 HEADER_BYTES = _HEADER.size + _HEADER_CRC.size  # 36
 
-#: region_idx | engine_idx | true_class_idx | backup_start | backup_end
-#: | backup_duration | n_points | min_ts | max_ts | payload_crc
-_CHUNK_FIXED = struct.Struct("<IIIqqIQqqI")
+#: v2 per-server fixed fields: region_idx | engine_idx | true_class_idx
+#: | backup_start | backup_end | backup_duration | n_chunks
+_SERVER_FIXED = struct.Struct("<IIIqqII")
+#: v2 per-chunk header: n_points | min_ts | max_ts | payload_crc
+_CHUNK_HEADER = struct.Struct("<QqqI")
+#: v1 per-server chunk: region_idx | engine_idx | true_class_idx
+#: | backup_start | backup_end | backup_duration | n_points | min_ts
+#: | max_ts | payload_crc
+_CHUNK_FIXED_V1 = struct.Struct("<IIIqqIQqqI")
 _STRING_LEN = struct.Struct("<H")
 
 #: Sentinel zone map of an empty chunk: min > max can match no range.
 _EMPTY_MIN_TS = 0
 _EMPTY_MAX_TS = -1
+
+#: Bytes per sample across the two column buffers (i64 + f64).
+_POINT_BYTES = 16
 
 
 class ColumnarFormatError(ValueError):
@@ -77,6 +109,21 @@ class ColumnarFormatError(ValueError):
     ``ValueError`` so ingestion error handling that already catches parse
     failures keeps working.
     """
+
+
+@dataclass
+class SgxReadStats:
+    """Observability counters filled in by one ``.sgx`` read.
+
+    ``payload_bytes_verified`` is the number of payload bytes actually
+    CRC-checked and ingested; a zone-map-pruned partial read verifies
+    strictly fewer bytes than a full read of the same file.
+    """
+
+    chunks_seen: int = 0
+    chunks_pruned: int = 0
+    payload_bytes_total: int = 0
+    payload_bytes_verified: int = 0
 
 
 # --------------------------------------------------------------------- #
@@ -91,48 +138,105 @@ def _packed_string(text: str, what: str) -> bytes:
     return _STRING_LEN.pack(len(encoded)) + encoded
 
 
-def frame_to_sgx_bytes(frame: LoadFrame) -> bytes:
-    """Serialise ``frame`` into ``.sgx`` bytes."""
+def _split_at_boundaries(
+    timestamps: np.ndarray, values: np.ndarray, chunk_minutes: int
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Split sorted column arrays at absolute ``chunk_minutes`` boundaries.
+
+    Returns only non-empty pieces (a gap spanning whole chunk periods
+    produces no empty interior chunks).  ``chunk_minutes=0`` keeps the
+    series whole.
+    """
+    n = int(timestamps.shape[0])
+    if n == 0 or chunk_minutes == 0:
+        return [(timestamps, values)]
+    first = int(timestamps[0]) // chunk_minutes
+    last = int(timestamps[-1]) // chunk_minutes
+    if first == last:
+        return [(timestamps, values)]
+    boundaries = np.arange(first + 1, last + 1, dtype=np.int64) * chunk_minutes
+    splits = np.searchsorted(timestamps, boundaries, side="left").tolist()
+    pieces: list[tuple[np.ndarray, np.ndarray]] = []
+    prev = 0
+    for split in [*splits, n]:
+        if split > prev:
+            pieces.append((timestamps[prev:split], values[prev:split]))
+        prev = split
+    return pieces
+
+
+def frame_to_sgx_bytes(frame: LoadFrame, chunk_minutes: int = DEFAULT_CHUNK_MINUTES) -> bytes:
+    """Serialise ``frame`` into ``.sgx`` (format v2) bytes.
+
+    ``chunk_minutes`` is the chunking policy: each server's series is
+    split at absolute multiples of it (default: day boundaries) into
+    chunks that each carry their own zone map and payload CRC, which is
+    what lets time-range reads prune *within* a server.  ``0`` writes a
+    single whole-series chunk per server.
+
+    Zone maps assume sorted data, so a series whose timestamps are not
+    strictly increasing (possible via ``LoadSeries(..., validate=False)``)
+    is rejected with :class:`ColumnarFormatError` naming the server --
+    writing it would produce a wrong zone map and silently mis-pruned or
+    mis-sliced reads.
+    """
+    if chunk_minutes < 0:
+        raise ValueError("chunk_minutes must be a non-negative number of minutes")
     dictionary: dict[str, int] = {}
 
     def intern(text: str) -> int:
         return dictionary.setdefault(text, len(dictionary))
 
-    chunk_blobs: list[tuple[bytes, bytes]] = []  # (chunk header, payload)
+    records: list[tuple[bytes, list[bytes]]] = []  # (record header, payloads)
     for server_id, metadata, series in frame.items():
         timestamps = np.ascontiguousarray(series.timestamps, dtype="<i8")
         values = np.ascontiguousarray(series.values, dtype="<f8")
-        payload = timestamps.tobytes() + values.tobytes()
-        n_points = int(timestamps.shape[0])
-        if n_points:
-            min_ts, max_ts = int(timestamps[0]), int(timestamps[-1])
-        else:
-            min_ts, max_ts = _EMPTY_MIN_TS, _EMPTY_MAX_TS
-        chunk_header = _packed_string(server_id, "server id") + _CHUNK_FIXED.pack(
-            intern(metadata.region),
-            intern(metadata.engine),
-            intern(metadata.true_class),
-            metadata.default_backup_start,
-            metadata.default_backup_end,
-            metadata.backup_duration_minutes,
-            n_points,
-            min_ts,
-            max_ts,
-            zlib.crc32(payload),
+        if timestamps.shape[0] > 1 and bool(np.any(np.diff(timestamps) <= 0)):
+            raise ColumnarFormatError(
+                f"cannot write .sgx extract: timestamps of server {server_id!r} "
+                "are not strictly increasing -- the zone map would be wrong and "
+                "time-range reads silently corrupted; sort the series first"
+            )
+        pieces = _split_at_boundaries(timestamps, values, chunk_minutes)
+        chunk_table = bytearray()
+        payloads: list[bytes] = []
+        for chunk_ts, chunk_vs in pieces:
+            n_points = int(chunk_ts.shape[0])
+            payload = chunk_ts.tobytes() + chunk_vs.tobytes()
+            if n_points:
+                min_ts, max_ts = int(chunk_ts[0]), int(chunk_ts[-1])
+            else:
+                min_ts, max_ts = _EMPTY_MIN_TS, _EMPTY_MAX_TS
+            chunk_table += _CHUNK_HEADER.pack(n_points, min_ts, max_ts, zlib.crc32(payload))
+            payloads.append(payload)
+        record_header = (
+            _packed_string(server_id, "server id")
+            + _SERVER_FIXED.pack(
+                intern(metadata.region),
+                intern(metadata.engine),
+                intern(metadata.true_class),
+                metadata.default_backup_start,
+                metadata.default_backup_end,
+                metadata.backup_duration_minutes,
+                len(payloads),
+            )
+            + bytes(chunk_table)
         )
-        chunk_blobs.append((chunk_header, payload))
+        records.append((record_header, payloads))
 
     dict_section = bytearray()
     for text in dictionary:  # insertion order == index order
         dict_section += _packed_string(text, "dictionary string")
 
     structure_crc = zlib.crc32(bytes(dict_section))
-    for chunk_header, _payload in chunk_blobs:
-        structure_crc = zlib.crc32(chunk_header, structure_crc)
+    for record_header, _payloads in records:
+        structure_crc = zlib.crc32(record_header, structure_crc)
 
-    body = bytes(dict_section) + b"".join(
-        chunk_header + payload for chunk_header, payload in chunk_blobs
-    )
+    body_parts = [bytes(dict_section)]
+    for record_header, payloads in records:
+        body_parts.append(record_header)
+        body_parts.extend(payloads)
+    body = b"".join(body_parts)
     header = _HEADER.pack(
         MAGIC,
         VERSION,
@@ -146,11 +250,13 @@ def frame_to_sgx_bytes(frame: LoadFrame) -> bytes:
     return header + _HEADER_CRC.pack(zlib.crc32(header)) + body
 
 
-def write_frame_sgx(frame: LoadFrame, path: str | Path) -> int:
+def write_frame_sgx(
+    frame: LoadFrame, path: str | Path, chunk_minutes: int = DEFAULT_CHUNK_MINUTES
+) -> int:
     """Write ``frame`` to ``path`` as ``.sgx``; returns data rows written."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_bytes(frame_to_sgx_bytes(frame))
+    path.write_bytes(frame_to_sgx_bytes(frame, chunk_minutes=chunk_minutes))
     return frame.total_points()
 
 
@@ -159,25 +265,34 @@ def write_frame_sgx(frame: LoadFrame, path: str | Path) -> int:
 # --------------------------------------------------------------------- #
 
 
-def _read_string(data: bytes, offset: int, what: str) -> tuple[str, int]:
+def _as_view(data) -> memoryview:
+    """A flat byte view over ``data`` without copying the buffer."""
+    view = data if isinstance(data, memoryview) else memoryview(data)
+    if view.ndim != 1 or view.format != "B":
+        view = view.cast("B")
+    return view
+
+
+def _read_string(view: memoryview, offset: int, what: str) -> tuple[str, int]:
     end = offset + _STRING_LEN.size
-    if end > len(data):
+    if end > view.nbytes:
         raise ColumnarFormatError(f"truncated .sgx extract: {what} length at byte {offset}")
-    (length,) = _STRING_LEN.unpack_from(data, offset)
-    if end + length > len(data):
+    (length,) = _STRING_LEN.unpack_from(view, offset)
+    if end + length > view.nbytes:
         raise ColumnarFormatError(f"truncated .sgx extract: {what} bytes at byte {end}")
     try:
-        text = data[end : end + length].decode("utf-8")
+        text = bytes(view[end : end + length]).decode("utf-8")
     except UnicodeDecodeError as exc:
         raise ColumnarFormatError(f"garbled .sgx extract: {what} is not UTF-8") from exc
     return text, end + length
 
 
-def _parse_header(data: bytes) -> tuple[int, int, int, int]:
-    """Validate the header; returns ``(interval, n_servers, n_dict, structure_crc)``."""
-    if len(data) < HEADER_BYTES:
+def _parse_header(view: memoryview) -> tuple[int, int, int, int, int]:
+    """Validate the header; returns
+    ``(version, interval, n_servers, n_dict, structure_crc)``."""
+    if view.nbytes < HEADER_BYTES:
         raise ColumnarFormatError(
-            f"truncated .sgx extract: {len(data)} bytes, header needs {HEADER_BYTES}"
+            f"truncated .sgx extract: {view.nbytes} bytes, header needs {HEADER_BYTES}"
         )
     (
         magic,
@@ -188,21 +303,31 @@ def _parse_header(data: bytes) -> tuple[int, int, int, int]:
         n_dict,
         file_length,
         structure_crc,
-    ) = _HEADER.unpack_from(data, 0)
+    ) = _HEADER.unpack_from(view, 0)
     if magic != MAGIC:
         raise ColumnarFormatError(f"not an .sgx extract (magic {magic!r})")
-    (header_crc,) = _HEADER_CRC.unpack_from(data, _HEADER.size)
-    if zlib.crc32(data[: _HEADER.size]) != header_crc:
+    (header_crc,) = _HEADER_CRC.unpack_from(view, _HEADER.size)
+    if zlib.crc32(view[: _HEADER.size]) != header_crc:
         raise ColumnarFormatError("garbled .sgx extract: header checksum mismatch")
-    if version != VERSION:
+    if version not in SUPPORTED_VERSIONS:
+        supported = ", ".join(str(v) for v in SUPPORTED_VERSIONS)
         raise ColumnarFormatError(
-            f"unsupported .sgx version {version} (this reader supports {VERSION})"
+            f"unsupported .sgx version {version} (this reader supports {supported})"
         )
-    if file_length != len(data):
+    if file_length != view.nbytes:
         raise ColumnarFormatError(
-            f"truncated .sgx extract: header declares {file_length} bytes, got {len(data)}"
+            f"truncated .sgx extract: header declares {file_length} bytes, got {view.nbytes}"
         )
-    return interval, n_servers, n_dict, structure_crc
+    return version, interval, n_servers, n_dict, structure_crc
+
+
+def sgx_version(data) -> int:
+    """Format version of ``data``, validated against the header CRC.
+
+    Cheap (header bytes only); the lake converter uses it to decide
+    whether a stored ``.sgx`` copy needs an in-place v1 -> v2 upgrade.
+    """
+    return _parse_header(_as_view(data))[0]
 
 
 def _dict_lookup(dictionary: list[str], index: int, what: str) -> str:
@@ -213,84 +338,134 @@ def _dict_lookup(dictionary: list[str], index: int, what: str) -> str:
     return dictionary[index]
 
 
-def _parse_structure(data: bytes):
-    """Validate header + dictionary; return ``(interval, dictionary, chunks)``.
+def _parse_structure(view: memoryview):
+    """Validate header + dictionary; return
+    ``(version, interval, dictionary, records)``.
 
-    ``chunks`` is a generator of ``(server_id, fields, payload_offset)``
-    per chunk (``fields`` is the raw :data:`_CHUNK_FIXED` tuple).  It
-    bounds-checks every chunk, and on exhaustion verifies that the chunks
-    exactly fill the file and that the accumulated structure CRC matches
-    the header -- the single walk both the reader and the inspector use,
-    so the two can never diverge on the layout.
+    ``records`` is a generator of ``(server_id, meta_fields, chunks)``
+    per server, where ``meta_fields`` is ``(region_idx, engine_idx,
+    true_class_idx, backup_start, backup_end, backup_duration)`` and
+    ``chunks`` is a list of ``(n_points, min_ts, max_ts, payload_crc,
+    payload_offset)`` entries.  It bounds-checks every record, and on
+    exhaustion verifies that the records exactly fill the file and that
+    the accumulated structure CRC matches the header -- the single walk
+    both the reader and the inspector use, so the two can never diverge
+    on the layout.  Format v1 records (one inline chunk per server)
+    surface through the same shape.
     """
-    interval, n_servers, n_dict, structure_crc = _parse_header(data)
+    version, interval, n_servers, n_dict, structure_crc = _parse_header(view)
+    total = view.nbytes
     offset = HEADER_BYTES
     dictionary: list[str] = []
     for _ in range(n_dict):
-        text, offset = _read_string(data, offset, "dictionary string")
+        text, offset = _read_string(view, offset, "dictionary string")
         dictionary.append(text)
-    view = memoryview(data)
     dict_end = offset
 
-    def chunks():
+    def records():
         position = dict_end
         seen_crc = zlib.crc32(view[HEADER_BYTES:dict_end])
         for _ in range(n_servers):
-            chunk_start = position
-            server_id, position = _read_string(data, chunk_start, "server id")
-            if position + _CHUNK_FIXED.size > len(data):
-                raise ColumnarFormatError(
-                    f"truncated .sgx extract: chunk header of {server_id!r} at byte {position}"
-                )
-            fields = _CHUNK_FIXED.unpack_from(data, position)
-            payload_offset = position + _CHUNK_FIXED.size
-            seen_crc = zlib.crc32(view[chunk_start:payload_offset], seen_crc)
-            n_points = fields[6]
-            position = payload_offset + n_points * 16
-            if position > len(data):
-                raise ColumnarFormatError(
-                    f"truncated .sgx extract: payload of {server_id!r} at byte {payload_offset}"
-                )
-            yield server_id, fields, payload_offset
-        if position != len(data):
+            record_start = position
+            server_id, position = _read_string(view, record_start, "server id")
+            if version == 1:
+                if position + _CHUNK_FIXED_V1.size > total:
+                    raise ColumnarFormatError(
+                        f"truncated .sgx extract: chunk header of {server_id!r} "
+                        f"at byte {position}"
+                    )
+                fields = _CHUNK_FIXED_V1.unpack_from(view, position)
+                payload_offset = position + _CHUNK_FIXED_V1.size
+                seen_crc = zlib.crc32(view[record_start:payload_offset], seen_crc)
+                n_points = fields[6]
+                chunks = [(n_points, fields[7], fields[8], fields[9], payload_offset)]
+                position = payload_offset + n_points * _POINT_BYTES
+                if position > total:
+                    raise ColumnarFormatError(
+                        f"truncated .sgx extract: payload of {server_id!r} "
+                        f"at byte {payload_offset}"
+                    )
+            else:
+                if position + _SERVER_FIXED.size > total:
+                    raise ColumnarFormatError(
+                        f"truncated .sgx extract: server record of {server_id!r} "
+                        f"at byte {position}"
+                    )
+                fields = _SERVER_FIXED.unpack_from(view, position)
+                n_chunks = fields[6]
+                table_offset = position + _SERVER_FIXED.size
+                table_end = table_offset + n_chunks * _CHUNK_HEADER.size
+                if table_end > total:
+                    raise ColumnarFormatError(
+                        f"truncated .sgx extract: chunk table of {server_id!r} "
+                        f"at byte {table_offset}"
+                    )
+                seen_crc = zlib.crc32(view[record_start:table_end], seen_crc)
+                chunks = []
+                payload_offset = table_end
+                for index in range(n_chunks):
+                    n_points, min_ts, max_ts, payload_crc = _CHUNK_HEADER.unpack_from(
+                        view, table_offset + index * _CHUNK_HEADER.size
+                    )
+                    chunks.append((n_points, min_ts, max_ts, payload_crc, payload_offset))
+                    payload_offset += n_points * _POINT_BYTES
+                position = payload_offset
+                if position > total:
+                    raise ColumnarFormatError(
+                        f"truncated .sgx extract: payloads of {server_id!r} "
+                        f"at byte {table_end}"
+                    )
+            yield server_id, fields[:6], chunks
+        if position != total:
             raise ColumnarFormatError(
-                f"garbled .sgx extract: {len(data) - position} trailing bytes after last chunk"
+                f"garbled .sgx extract: {total - position} trailing bytes after last chunk"
             )
         if seen_crc != structure_crc:
-            # Covers the dictionary, zone maps and every chunk's metadata
+            # Covers the dictionary, zone maps and every server's metadata
             # fields -- tampered structure must not be silently ingested,
             # nor allowed to mis-prune a time-range read.
             raise ColumnarFormatError("garbled .sgx extract: structure checksum mismatch")
 
-    return interval, dictionary, chunks()
+    return version, interval, dictionary, records()
 
 
 def frame_from_sgx_bytes(
-    data: bytes,
+    data,
     interval_minutes: int | None = None,
     start_minute: int | None = None,
     end_minute: int | None = None,
+    stats: SgxReadStats | None = None,
 ) -> LoadFrame:
     """Deserialise ``.sgx`` bytes into a :class:`LoadFrame`.
 
     ``interval_minutes`` defaults to the interval recorded in the header.
     When ``start_minute``/``end_minute`` bound a half-open time range,
     chunks whose zone map falls outside it are skipped without reading or
-    verifying their payload, and overlapping chunks are cut to the range;
-    servers with no samples in range are omitted from the result.
+    verifying their payload -- per-day chunking (v2) makes that pruning
+    effective *within* a server -- and overlapping chunks are cut to the
+    range; servers with no samples in range are omitted from the result.
+    A server's surviving chunks are merged back into one series.
+
+    ``data`` may be ``bytes``, ``bytearray`` or a ``memoryview``; non-
+    ``bytes`` buffers are read through a view, never copied wholesale --
+    a pruned read materialises only the slices it keeps.  ``stats``, when
+    given, is filled with chunk/byte counters for observability.
     """
-    data = bytes(data) if isinstance(data, (bytearray, memoryview)) else data
-    interval, dictionary, chunks = _parse_structure(data)
+    view = _as_view(data)
+    version, interval, dictionary, records = _parse_structure(view)
     if interval_minutes is None:
         interval_minutes = interval
 
     pruning = start_minute is not None or end_minute is not None
     range_lo = start_minute if start_minute is not None else -(1 << 62)
     range_hi = end_minute if end_minute is not None else (1 << 62)
+    # bytes objects are immutable, so full reads can hand out zero-copy
+    # frombuffer views; mutable buffers must be copied chunk-by-chunk
+    # (still never the whole file) or the frame would alias caller state.
+    zero_copy = isinstance(data, bytes)
 
     frame = LoadFrame(interval_minutes)
-    view = memoryview(data)
-    for server_id, fields, payload_offset in chunks:
+    for server_id, meta_fields, chunks in records:
         (
             region_idx,
             engine_idx,
@@ -298,38 +473,65 @@ def frame_from_sgx_bytes(
             backup_start,
             backup_end,
             backup_duration,
-            n_points,
-            min_ts,
-            max_ts,
-            payload_crc,
-        ) = fields
-        payload_bytes = n_points * 16
-
-        if pruning and (n_points == 0 or max_ts < range_lo or min_ts >= range_hi):
-            continue  # zone-map pruned: payload untouched, checksum unverified
-
-        if zlib.crc32(view[payload_offset : payload_offset + payload_bytes]) != payload_crc:
-            raise ColumnarFormatError(
-                f"garbled .sgx extract: chunk checksum mismatch for {server_id!r}"
+        ) = meta_fields
+        kept_ts: list[np.ndarray] = []
+        kept_vs: list[np.ndarray] = []
+        for n_points, min_ts, max_ts, payload_crc, payload_offset in chunks:
+            payload_bytes = n_points * _POINT_BYTES
+            if stats is not None:
+                stats.chunks_seen += 1
+                stats.payload_bytes_total += payload_bytes
+            if pruning and (n_points == 0 or max_ts < range_lo or min_ts >= range_hi):
+                # Zone-map pruned: payload untouched, checksum unverified.
+                if stats is not None:
+                    stats.chunks_pruned += 1
+                continue
+            if zlib.crc32(view[payload_offset : payload_offset + payload_bytes]) != payload_crc:
+                raise ColumnarFormatError(
+                    f"garbled .sgx extract: chunk checksum mismatch for {server_id!r}"
+                )
+            if stats is not None:
+                stats.payload_bytes_verified += payload_bytes
+            timestamps = np.frombuffer(view, dtype="<i8", count=n_points, offset=payload_offset)
+            values = np.frombuffer(
+                view, dtype="<f8", count=n_points, offset=payload_offset + 8 * n_points
             )
-        timestamps = np.frombuffer(data, dtype="<i8", count=n_points, offset=payload_offset)
-        values = np.frombuffer(
-            data, dtype="<f8", count=n_points, offset=payload_offset + 8 * n_points
-        )
-        if pruning:
-            if min_ts < range_lo or max_ts >= range_hi:
-                lo = int(np.searchsorted(timestamps, range_lo, side="left"))
-                hi = int(np.searchsorted(timestamps, range_hi, side="left"))
-                if lo == hi:
-                    continue
-                timestamps = timestamps[lo:hi]
-                values = values[lo:hi]
-            # A partial read keeps a small fraction of the file; copying
-            # the kept slices releases the full file buffer (frombuffer
-            # views would pin it for the frame's lifetime).  Full reads
-            # stay zero-copy -- there the frame spans the buffer anyway.
-            timestamps = timestamps.copy()
-            values = values.copy()
+            if pruning:
+                if min_ts < range_lo or max_ts >= range_hi:
+                    lo = int(np.searchsorted(timestamps, range_lo, side="left"))
+                    hi = int(np.searchsorted(timestamps, range_hi, side="left"))
+                    if lo == hi:
+                        continue
+                    timestamps = timestamps[lo:hi]
+                    values = values[lo:hi]
+                # A partial read keeps a small fraction of the file;
+                # copying the kept slices releases the file buffer
+                # (frombuffer views would pin it for the frame's
+                # lifetime).  Full reads of immutable bytes stay
+                # zero-copy -- there the frame spans the buffer anyway.
+                timestamps = timestamps.copy()
+                values = values.copy()
+            elif not zero_copy:
+                timestamps = timestamps.copy()
+                values = values.copy()
+            if n_points:
+                kept_ts.append(timestamps)
+                kept_vs.append(values)
+        if not kept_ts:
+            if pruning:
+                continue  # no samples in range: server omitted
+            timestamps = np.empty(0, dtype="<i8")
+            values = np.empty(0, dtype="<f8")
+        elif len(kept_ts) == 1:
+            timestamps, values = kept_ts[0], kept_vs[0]
+        else:
+            for prev, nxt in zip(kept_ts, kept_ts[1:]):
+                if int(nxt[0]) <= int(prev[-1]):
+                    raise ColumnarFormatError(
+                        f"garbled .sgx extract: out-of-order chunks for server {server_id!r}"
+                    )
+            timestamps = np.concatenate(kept_ts)
+            values = np.concatenate(kept_vs)
         if server_id in frame:
             raise ColumnarFormatError(
                 f"garbled .sgx extract: duplicate chunk for server {server_id!r}"
@@ -354,10 +556,11 @@ def read_frame_sgx(
     interval_minutes: int | None = None,
     start_minute: int | None = None,
     end_minute: int | None = None,
+    stats: SgxReadStats | None = None,
 ) -> LoadFrame:
     """Read an ``.sgx`` extract from ``path``."""
     return frame_from_sgx_bytes(
-        Path(path).read_bytes(), interval_minutes, start_minute, end_minute
+        Path(path).read_bytes(), interval_minutes, start_minute, end_minute, stats=stats
     )
 
 
@@ -366,29 +569,38 @@ def read_frame_sgx(
 # --------------------------------------------------------------------- #
 
 
-def sgx_summary(data: bytes) -> dict[str, object]:
+def sgx_summary(data) -> dict[str, object]:
     """Describe ``.sgx`` bytes without verifying payload checksums.
 
-    Returns header fields plus one zone-map entry per chunk -- the
-    inspection hook for tests and debugging (cheap: payloads are skipped,
-    not read).
+    Returns header fields plus one zone-map entry per chunk (each tagged
+    with its server id -- a v2 server contributes one entry per day
+    chunk) -- the inspection hook for tests and debugging (cheap:
+    payloads are skipped, not read).
     """
-    data = bytes(data) if isinstance(data, (bytearray, memoryview)) else data
-    interval, dictionary, chunk_iter = _parse_structure(data)
+    view = _as_view(data)
+    version, interval, dictionary, record_iter = _parse_structure(view)
     chunks: list[dict[str, object]] = []
+    n_servers = 0
     total_points = 0
-    for server_id, fields, _payload_offset in chunk_iter:
-        n_points, min_ts, max_ts = fields[6], fields[7], fields[8]
-        total_points += n_points
-        chunks.append(
-            {"server_id": server_id, "n_points": n_points, "min_ts": min_ts, "max_ts": max_ts}
-        )
+    for server_id, _meta_fields, chunk_list in record_iter:
+        n_servers += 1
+        for n_points, min_ts, max_ts, _payload_crc, _payload_offset in chunk_list:
+            total_points += n_points
+            chunks.append(
+                {
+                    "server_id": server_id,
+                    "n_points": n_points,
+                    "min_ts": min_ts,
+                    "max_ts": max_ts,
+                }
+            )
     return {
-        "version": VERSION,
+        "version": version,
         "interval_minutes": interval,
-        "n_servers": len(chunks),
+        "n_servers": n_servers,
         "n_dictionary_strings": len(dictionary),
         "n_points": total_points,
-        "n_bytes": len(data),
+        "n_chunks": len(chunks),
+        "n_bytes": view.nbytes,
         "chunks": chunks,
     }

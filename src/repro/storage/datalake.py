@@ -79,6 +79,12 @@ class DataLakeStore:
         Format new extracts are written in (``"csv"`` by default; pass
         ``"sgx"`` for columnar lakes).  Reading negotiates independently
         of this setting.
+    chunk_minutes:
+        Chunking policy for ``.sgx`` writes: each server's series is
+        split at absolute multiples of this many minutes, so zone maps
+        can prune time-range reads *within* a server.  ``None`` (the
+        default) uses the columnar layer's per-day default; ``0`` writes
+        one whole-series chunk per server.
     """
 
     def __init__(
@@ -86,6 +92,7 @@ class DataLakeStore:
         root: str | Path | None = None,
         granted_principals: set[str] | None = None,
         write_format: str = "csv",
+        chunk_minutes: int | None = None,
     ) -> None:
         self._root = Path(root) if root is not None else None
         if self._root is not None:
@@ -93,6 +100,9 @@ class DataLakeStore:
         self._memory: dict[ExtractKey, dict[str, bytes]] = {}
         self._granted = set(granted_principals) if granted_principals is not None else None
         self._write_format = check_format(write_format)
+        if chunk_minutes is not None and chunk_minutes < 0:
+            raise ValueError("chunk_minutes must be a non-negative number of minutes")
+        self._chunk_minutes = chunk_minutes
 
     # ------------------------------------------------------------------ #
 
@@ -105,6 +115,11 @@ class DataLakeStore:
     def write_format(self) -> str:
         """Format new extracts are persisted in."""
         return self._write_format
+
+    @property
+    def chunk_minutes(self) -> int | None:
+        """Configured ``.sgx`` chunking policy (``None``: columnar default)."""
+        return self._chunk_minutes
 
     def check_access(self, principal: str | None = None) -> None:
         """Raise :class:`AccessDeniedError` unless ``principal`` is granted.
@@ -168,11 +183,15 @@ class DataLakeStore:
         principal: str | None = None,
         fmt: str | None = None,
         keep_other_formats: bool = False,
+        chunk_minutes: int | None = None,
     ) -> int:
         """Persist ``frame`` as the extract for ``key``; returns rows written.
 
         The extract is written in ``fmt`` (default: the store's
-        ``write_format``).  Copies of the same key in *other* formats are
+        ``write_format``).  ``chunk_minutes`` overrides the store's
+        ``.sgx`` chunking policy for this write (``None``: use the
+        store's; the lake converter passes its ``--chunk-minutes`` knob
+        through here).  Copies of the same key in *other* formats are
         removed -- they would otherwise serve stale content to readers --
         unless ``keep_other_formats`` is set (the lake converter keeps the
         source copy alive until the new one is verified).
@@ -180,9 +199,38 @@ class DataLakeStore:
         self._check_access(principal)
         fmt = check_format(fmt if fmt is not None else self._write_format)
         if fmt == "sgx":
-            payload = columnar.frame_to_sgx_bytes(frame)
+            if chunk_minutes is None:
+                chunk_minutes = self._chunk_minutes
+            if chunk_minutes is None:
+                chunk_minutes = columnar.DEFAULT_CHUNK_MINUTES
+            payload = columnar.frame_to_sgx_bytes(frame, chunk_minutes=chunk_minutes)
         else:
             payload = csv_io.frame_to_csv_text(frame).encode("utf-8")
+        self._store_payload(key, fmt, payload, keep_other_formats)
+        return frame.total_points()
+
+    def write_extract_bytes(
+        self,
+        key: ExtractKey,
+        fmt: str,
+        payload: bytes,
+        principal: str | None = None,
+        keep_other_formats: bool = False,
+    ) -> None:
+        """Persist pre-encoded extract ``payload`` as ``key``'s ``fmt`` copy.
+
+        The byte-level dual of :meth:`read_extract_bytes`: the payload is
+        stored exactly as given, trusting the caller's encoding -- the
+        lake converter uses this to land precisely the bytes it verified
+        in memory, with no re-encode in between.  Stale other-format
+        copies follow the same rules as :meth:`write_extract`.
+        """
+        self._check_access(principal)
+        self._store_payload(key, check_format(fmt), bytes(payload), keep_other_formats)
+
+    def _store_payload(
+        self, key: ExtractKey, fmt: str, payload: bytes, keep_other_formats: bool
+    ) -> None:
         others = () if keep_other_formats else tuple(o for o in EXTRACT_FORMATS if o != fmt)
         if self._root is None:
             slot = self._memory.setdefault(key, {})
@@ -205,7 +253,6 @@ class DataLakeStore:
             for other in others:
                 if preference[other] > preference[fmt]:
                     self._path_for(key, other).unlink(missing_ok=True)
-        return frame.total_points()
 
     def read_extract(
         self,

@@ -11,8 +11,9 @@ operator can see what a migration bought before deleting sources.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
+from repro.storage import columnar
 from repro.storage.datalake import DataLakeStore, ExtractKey, check_format
 from repro.timeseries.calendar import DEFAULT_INTERVAL_MINUTES
 
@@ -146,6 +147,53 @@ class LakeConversionReport:
         return "\n".join(lines)
 
 
+def _upgrade_sgx_in_place(
+    lake: DataLakeStore,
+    key: ExtractKey,
+    frame,
+    raw: bytes,
+    verify: bool,
+    chunk_minutes: int | None,
+    principal: str | None,
+) -> ConversionRecord | None:
+    """Re-encode ``key``'s stored ``.sgx`` copy under the current format
+    version and chunking policy; returns the record, or ``None`` when the
+    stored bytes are already exactly what the policy would produce.
+
+    Unlike a cross-format conversion, an upgrade *overwrites its own
+    source*, so with ``verify`` the new encoding is round-tripped in
+    memory and compared by content hash **before** any write -- once the
+    old file is gone there is nothing left to fall back to.  The exact
+    verified bytes are what lands on disk (no re-encode in between).
+    """
+    policy = chunk_minutes
+    if policy is None:
+        policy = lake.chunk_minutes
+    if policy is None:
+        policy = columnar.DEFAULT_CHUNK_MINUTES
+    new_bytes = columnar.frame_to_sgx_bytes(frame, chunk_minutes=policy)
+    if new_bytes == bytes(raw):
+        return None
+    if verify:
+        round_tripped = columnar.frame_from_sgx_bytes(new_bytes, None)
+        if round_tripped.content_hash() != frame.content_hash():
+            raise ConversionVerificationError(
+                f"re-chunked .sgx encoding of {key} does not round-trip "
+                "losslessly; leaving the stored copy untouched"
+            )
+    lake.write_extract_bytes(
+        key, "sgx", new_bytes, principal=principal, keep_other_formats=True
+    )
+    return ConversionRecord(
+        key=key,
+        source_format="sgx",
+        target_format="sgx",
+        rows=frame.total_points(),
+        bytes_in=len(raw),
+        bytes_out=len(new_bytes),
+    )
+
+
 def convert_lake(
     lake: DataLakeStore,
     to_format: str = "sgx",
@@ -153,13 +201,20 @@ def convert_lake(
     delete_source: bool = False,
     verify: bool = True,
     principal: str | None = None,
+    chunk_minutes: int | None = None,
 ) -> LakeConversionReport:
     """Convert every extract in ``lake`` (optionally one region) to ``to_format``.
 
     Extracts already stored in the target format are health-checked (read
     back) and then skipped; a damaged target copy is dropped and
     re-converted from a healthy source-format copy instead of being
-    trusted.  With
+    trusted.  An ``.sgx`` copy in an *older format version* is not
+    "already current": it is upgraded in place (v1 -> v2 per-day chunks),
+    verified in memory *before* the old file is overwritten -- an upgrade
+    rewrites its own source, so post-write rollback would be too late.
+    ``chunk_minutes`` sets the ``.sgx`` chunking policy of converted
+    extracts; passing it explicitly also forces already-v2 extracts to be
+    re-chunked under that policy.  With
     ``verify`` (the default) the converted copy is read back and its frame
     content hash compared against the source frame; a mismatch raises
     :class:`ConversionVerificationError` and leaves the source untouched.
@@ -174,9 +229,16 @@ def convert_lake(
         if to_format in formats:
             # Already current -- but only trust the stored target copy if
             # it actually reads back; a damaged one is dropped and
-            # re-converted from a healthy source below.
+            # re-converted from a healthy source below.  For .sgx the
+            # bytes are fetched once and parsed in memory, so the later
+            # version probe costs no second disk read.
+            raw = None
             try:
-                target = lake.read_extract(key, None, principal=principal, fmt=to_format)
+                if to_format == "sgx":
+                    _fmt, raw = lake.read_extract_bytes(key, principal=principal, fmt="sgx")
+                    target = columnar.frame_from_sgx_bytes(raw, None)
+                else:
+                    target = lake.read_extract(key, None, principal=principal, fmt=to_format)
             except ValueError as exc:
                 if len(formats) == 1:
                     raise ConversionVerificationError(
@@ -186,6 +248,16 @@ def convert_lake(
                 lake.delete_extract(key, principal=principal, fmt=to_format)
                 formats = tuple(fmt for fmt in formats if fmt != to_format)
             else:
+                upgrade_record = None
+                if to_format == "sgx" and (
+                    columnar.sgx_version(raw) != columnar.VERSION or chunk_minutes is not None
+                ):
+                    # An older-version (or differently chunked, when the
+                    # policy is forced) .sgx copy is not "already
+                    # current": re-encode it in place.
+                    upgrade_record = _upgrade_sgx_in_place(
+                        lake, key, target, raw, verify, chunk_minutes, principal
+                    )
                 # With ``delete_source`` the leftover source copies (e.g.
                 # from an earlier run without the flag) still have to go,
                 # after the same lossless check.
@@ -203,8 +275,11 @@ def convert_lake(
                     for leftover in leftovers:
                         freed += lake.extract_size_bytes(key, principal=principal, fmt=leftover)
                         lake.delete_extract(key, principal=principal, fmt=leftover)
-                report.records.append(
-                    ConversionRecord(
+                deleted = tuple(leftovers) if delete_source and leftovers else ()
+                if upgrade_record is not None:
+                    record = replace(upgrade_record, deleted_formats=deleted, bytes_freed=freed)
+                else:
+                    record = ConversionRecord(
                         key=key,
                         source_format=to_format,
                         target_format=to_format,
@@ -212,10 +287,10 @@ def convert_lake(
                         bytes_in=0,
                         bytes_out=0,
                         skipped=True,
-                        deleted_formats=tuple(leftovers) if delete_source and leftovers else (),
+                        deleted_formats=deleted,
                         bytes_freed=freed,
                     )
-                )
+                report.records.append(record)
                 continue
         source_format = formats[0]
         bytes_in = lake.extract_size_bytes(key, principal=principal, fmt=source_format)
@@ -241,7 +316,12 @@ def convert_lake(
                     f"keeping the .{source_format} copy"
                 )
         rows = lake.write_extract(
-            key, frame, principal=principal, fmt=to_format, keep_other_formats=True
+            key,
+            frame,
+            principal=principal,
+            fmt=to_format,
+            keep_other_formats=True,
+            chunk_minutes=chunk_minutes,
         )
         if verify:
             round_tripped = lake.read_extract(key, None, principal=principal, fmt=to_format)

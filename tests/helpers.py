@@ -2,12 +2,82 @@
 
 from __future__ import annotations
 
+import struct
+import zlib
+
 import numpy as np
 
 from repro.timeseries.calendar import MINUTES_PER_DAY, points_per_day
 from repro.timeseries.series import LoadSeries
 
 POINTS_PER_DAY = points_per_day(5)
+
+#: Frozen .sgx v1 structs (one inline chunk per server), kept here so
+#: compatibility tests can fabricate genuine v1 files without the
+#: production writer having to retain a legacy encode path.
+_V1_HEADER = struct.Struct("<4sHHIIIQI")
+_V1_HEADER_CRC = struct.Struct("<I")
+_V1_CHUNK_FIXED = struct.Struct("<IIIqqIQqqI")
+_V1_STRING_LEN = struct.Struct("<H")
+
+
+def frame_to_sgx_v1_bytes(frame) -> bytes:
+    """Serialise ``frame`` exactly as the .sgx format v1 writer did.
+
+    Byte-for-byte the layout shipped before multi-chunk series: header,
+    dictionary, then one ``(chunk header, payload)`` pair per server with
+    a single whole-series zone map.
+    """
+
+    def packed(text: str) -> bytes:
+        encoded = text.encode("utf-8")
+        return _V1_STRING_LEN.pack(len(encoded)) + encoded
+
+    dictionary: dict[str, int] = {}
+
+    def intern(text: str) -> int:
+        return dictionary.setdefault(text, len(dictionary))
+
+    chunk_blobs = []
+    for server_id, metadata, series in frame.items():
+        timestamps = np.ascontiguousarray(series.timestamps, dtype="<i8")
+        values = np.ascontiguousarray(series.values, dtype="<f8")
+        payload = timestamps.tobytes() + values.tobytes()
+        n_points = int(timestamps.shape[0])
+        if n_points:
+            min_ts, max_ts = int(timestamps[0]), int(timestamps[-1])
+        else:
+            min_ts, max_ts = 0, -1
+        chunk_header = packed(server_id) + _V1_CHUNK_FIXED.pack(
+            intern(metadata.region),
+            intern(metadata.engine),
+            intern(metadata.true_class),
+            metadata.default_backup_start,
+            metadata.default_backup_end,
+            metadata.backup_duration_minutes,
+            n_points,
+            min_ts,
+            max_ts,
+            zlib.crc32(payload),
+        )
+        chunk_blobs.append((chunk_header, payload))
+
+    dict_section = b"".join(packed(text) for text in dictionary)
+    structure_crc = zlib.crc32(dict_section)
+    for chunk_header, _payload in chunk_blobs:
+        structure_crc = zlib.crc32(chunk_header, structure_crc)
+    body = dict_section + b"".join(header + payload for header, payload in chunk_blobs)
+    header = _V1_HEADER.pack(
+        b"SGXF",
+        1,
+        0,
+        frame.interval_minutes,
+        len(frame),
+        len(dictionary),
+        _V1_HEADER.size + _V1_HEADER_CRC.size + len(body),
+        structure_crc,
+    )
+    return header + _V1_HEADER_CRC.pack(zlib.crc32(header)) + body
 
 
 def make_series(values, start=0, interval=5) -> LoadSeries:

@@ -516,6 +516,99 @@ class TestConvertCli:
         # Nothing half-written: the .sgx copy is still the only one.
         assert lake.extract_formats(ExtractKey("r0", 0)) == ("sgx",)
 
+    def test_convert_upgrades_v1_sgx_in_place(self, capsys, tmp_path):
+        from repro.storage.columnar import sgx_version
+
+        from tests.helpers import frame_to_sgx_v1_bytes
+
+        lake = self._csv_lake(tmp_path)
+        assert fleet_main(["convert", "--lake-dir", str(lake.root), "--delete-source"]) == 0
+        key = lake.list_extracts()[0]
+        frame = lake.read_extract(key, None)
+        path = lake.root / key.region / key.filename("sgx")
+        path.write_bytes(frame_to_sgx_v1_bytes(frame))
+        assert sgx_version(path.read_bytes()) == 1
+        capsys.readouterr()
+        assert fleet_main(["convert", "--lake-dir", str(lake.root)]) == 0
+        out = capsys.readouterr().out
+        assert "1 extract(s) converted, 3 already current" in out
+        assert sgx_version(path.read_bytes()) == 2
+        assert lake.read_extract(key, None).content_hash() == frame.content_hash()
+
+    def test_convert_upgrade_deletes_leftover_source(self, tmp_path):
+        # A v1 .sgx with a CSV sibling: one --delete-source upgrade run
+        # must both re-encode the .sgx and drop the stale CSV.
+        from repro.storage.columnar import sgx_version
+        from repro.storage.migrate import convert_lake
+
+        from tests.helpers import frame_to_sgx_v1_bytes
+
+        lake = self._csv_lake(tmp_path)
+        convert_lake(lake, "sgx")  # keeps CSV sources
+        key = lake.list_extracts()[0]
+        frame = lake.read_extract(key, None)
+        path = lake.root / key.region / key.filename("sgx")
+        path.write_bytes(frame_to_sgx_v1_bytes(frame))
+        report = convert_lake(lake, "sgx", delete_source=True)
+        assert sgx_version(path.read_bytes()) == 2
+        for each in lake.list_extracts():
+            assert lake.extract_formats(each) == ("sgx",)
+        upgraded = [r for r in report.records if not r.skipped]
+        assert len(upgraded) == 1
+        assert upgraded[0].deleted_formats == ("csv",)
+        assert lake.read_extract(key, None).content_hash() == frame.content_hash()
+
+    def test_convert_upgrade_honours_store_chunk_policy(self, tmp_path):
+        # Without an explicit --chunk-minutes, an in-place upgrade must
+        # follow the lake's configured policy, same as fresh conversions.
+        from repro.storage.columnar import sgx_summary, sgx_version
+        from repro.storage.migrate import convert_lake
+
+        from tests.helpers import frame_to_sgx_v1_bytes
+
+        seeded = self._csv_lake(tmp_path)
+        convert_lake(seeded, "sgx", delete_source=True)
+        key = seeded.list_extracts()[0]
+        frame = seeded.read_extract(key, None)
+        path = seeded.root / key.region / key.filename("sgx")
+        path.write_bytes(frame_to_sgx_v1_bytes(frame))
+        lake = DataLakeStore(seeded.root, write_format="sgx", chunk_minutes=0)
+        convert_lake(lake, "sgx")
+        raw = path.read_bytes()
+        assert sgx_version(raw) == 2
+        info = sgx_summary(raw)
+        assert info["n_chunks"] == info["n_servers"]  # whole-series chunks
+
+    def test_convert_chunk_minutes_rechunks_already_current_lake(self, capsys, tmp_path):
+        from repro.storage.columnar import sgx_summary
+
+        lake = self._csv_lake(tmp_path)
+        assert fleet_main(["convert", "--lake-dir", str(lake.root), "--delete-source"]) == 0
+        key = lake.list_extracts()[0]
+        path = lake.root / key.region / key.filename("sgx")
+        per_day = sgx_summary(path.read_bytes())["n_chunks"]
+        capsys.readouterr()
+        code = fleet_main(
+            ["convert", "--lake-dir", str(lake.root), "--chunk-minutes", "720"]
+        )
+        assert code == 0
+        assert "4 extract(s) converted" in capsys.readouterr().out
+        assert sgx_summary(path.read_bytes())["n_chunks"] > per_day
+        # Re-running under the same policy finds byte-identical encodings.
+        capsys.readouterr()
+        assert fleet_main(
+            ["convert", "--lake-dir", str(lake.root), "--chunk-minutes", "720"]
+        ) == 0
+        assert "0 extract(s) converted, 4 already current" in capsys.readouterr().out
+
+    def test_convert_negative_chunk_minutes_rejected(self, capsys, tmp_path):
+        lake = self._csv_lake(tmp_path)
+        code = fleet_main(
+            ["convert", "--lake-dir", str(lake.root), "--chunk-minutes", "-3"]
+        )
+        assert code == 2
+        assert "non-negative" in capsys.readouterr().err
+
     def test_convert_missing_lake_dir_fails_without_creating_it(self, capsys, tmp_path):
         missing = tmp_path / "no-such-lake"
         assert fleet_main(["convert", "--lake-dir", str(missing)]) == 2

@@ -11,16 +11,18 @@ from repro.storage.columnar import (
     HEADER_BYTES,
     MAGIC,
     ColumnarFormatError,
+    SgxReadStats,
     frame_from_sgx_bytes,
     frame_to_sgx_bytes,
     read_frame_sgx,
     sgx_summary,
+    sgx_version,
     write_frame_sgx,
 )
 from repro.timeseries.frame import LoadFrame, ServerMetadata
 from repro.timeseries.series import LoadSeries
 
-from tests.helpers import make_series
+from tests.helpers import frame_to_sgx_v1_bytes, make_series
 
 #: Bytes from a chunk's max_ts field to the end of its fixed header
 #: (max_ts i64 + payload_crc u32).
@@ -231,6 +233,307 @@ class TestCorruption:
         # Ingestion error handling catches ValueError; the typed error
         # must stay inside that hierarchy.
         assert issubclass(ColumnarFormatError, ValueError)
+
+
+def multi_day_frame(n_servers=2, n_days=7, interval=5) -> LoadFrame:
+    """Servers spanning ``n_days`` consecutive days from minute 0."""
+    frame = LoadFrame(interval)
+    points = n_days * (1440 // interval)
+    for index in range(n_servers):
+        metadata = ServerMetadata(server_id=f"srv-{index}", region="westus2")
+        values = (np.arange(points, dtype=float) + index) % 100
+        frame.add_server(metadata, make_series(values, start=0, interval=interval))
+    return frame
+
+
+class TestUnsortedRejection:
+    """The headline bugfix: unsorted series must be rejected, not
+    round-tripped with a corrupt zone map."""
+
+    def _frame_with_timestamps(self, timestamps):
+        frame = LoadFrame(5)
+        series = LoadSeries(
+            np.asarray(timestamps, dtype=np.int64),
+            np.arange(len(timestamps), dtype=float),
+            5,
+            validate=False,
+        )
+        frame.add_server(ServerMetadata(server_id="srv-bad"), series)
+        return frame
+
+    def test_unsorted_series_rejected_naming_server(self):
+        frame = self._frame_with_timestamps([0, 10, 5, 15])
+        with pytest.raises(ColumnarFormatError, match="srv-bad"):
+            frame_to_sgx_bytes(frame)
+
+    def test_reversed_series_rejected(self):
+        frame = self._frame_with_timestamps([15, 10, 5, 0])
+        with pytest.raises(ColumnarFormatError, match="strictly increasing"):
+            frame_to_sgx_bytes(frame)
+
+    def test_duplicate_timestamps_rejected(self):
+        frame = self._frame_with_timestamps([0, 5, 5, 10])
+        with pytest.raises(ColumnarFormatError, match="strictly increasing"):
+            frame_to_sgx_bytes(frame)
+
+    def test_unsorted_series_never_reaches_disk(self, tmp_path):
+        frame = self._frame_with_timestamps([0, 10, 5])
+        path = tmp_path / "bad.sgx"
+        with pytest.raises(ColumnarFormatError):
+            write_frame_sgx(frame, path)
+        assert not path.exists()
+
+    def test_irregular_but_sorted_series_is_accepted(self):
+        # Sortedness, not grid regularity, is what zone maps need.
+        frame = self._frame_with_timestamps([0, 5, 7, 100])
+        restored = frame_from_sgx_bytes(frame_to_sgx_bytes(frame))
+        assert restored.series("srv-bad").start == 0
+        assert restored.series("srv-bad").end == 100
+
+    def test_single_point_and_empty_series_accepted(self):
+        frame = LoadFrame(5)
+        frame.add_server(ServerMetadata(server_id="one"), make_series([1.0]))
+        frame.add_server(ServerMetadata(server_id="none"), LoadSeries.empty(5))
+        restored = frame_from_sgx_bytes(frame_to_sgx_bytes(frame))
+        assert len(restored.series("one")) == 1
+        assert restored.series("none").is_empty
+
+
+class TestChunking:
+    """Format v2: per-day chunks let zone maps prune within a server."""
+
+    def test_writer_splits_one_chunk_per_day(self):
+        frame = multi_day_frame(n_servers=2, n_days=7)
+        info = sgx_summary(frame_to_sgx_bytes(frame))
+        assert info["version"] == 2
+        assert info["n_servers"] == 2
+        assert info["n_chunks"] == 14
+        per_server = [c for c in info["chunks"] if c["server_id"] == "srv-0"]
+        assert len(per_server) == 7
+        for day, chunk in enumerate(per_server):
+            assert chunk["min_ts"] == day * 1440
+            assert chunk["max_ts"] == (day + 1) * 1440 - 5
+
+    def test_chunk_minutes_zero_writes_single_chunk(self):
+        frame = multi_day_frame(n_servers=1, n_days=7)
+        info = sgx_summary(frame_to_sgx_bytes(frame, chunk_minutes=0))
+        assert info["n_chunks"] == 1
+
+    def test_chunk_minutes_knob_controls_granularity(self):
+        frame = multi_day_frame(n_servers=1, n_days=2)
+        assert sgx_summary(frame_to_sgx_bytes(frame, chunk_minutes=720))["n_chunks"] == 4
+        assert sgx_summary(frame_to_sgx_bytes(frame, chunk_minutes=2880))["n_chunks"] == 1
+
+    def test_negative_chunk_minutes_rejected(self):
+        with pytest.raises(ValueError, match="chunk_minutes"):
+            frame_to_sgx_bytes(multi_day_frame(1, 1), chunk_minutes=-1)
+
+    def test_multi_chunk_roundtrip_preserves_content_hash(self):
+        frame = multi_day_frame(n_servers=3, n_days=7)
+        restored = frame_from_sgx_bytes(frame_to_sgx_bytes(frame))
+        assert restored.content_hash() == frame.content_hash()
+
+    def test_range_exactly_on_day_boundaries(self):
+        frame = multi_day_frame(n_servers=1, n_days=7)
+        data = frame_to_sgx_bytes(frame)
+        part = frame_from_sgx_bytes(data, start_minute=1440, end_minute=2880)
+        series = part.series("srv-0")
+        expected = frame.series("srv-0").slice(1440, 2880)
+        assert series == expected
+        assert series.start == 1440
+        assert series.end == 2880 - 5
+
+    def test_range_spanning_two_chunks_merges_seamlessly(self):
+        frame = multi_day_frame(n_servers=1, n_days=7)
+        data = frame_to_sgx_bytes(frame)
+        part = frame_from_sgx_bytes(data, start_minute=1000, end_minute=2000)
+        assert part.series("srv-0") == frame.series("srv-0").slice(1000, 2000)
+
+    def test_range_inside_one_chunk_prunes_the_rest(self):
+        frame = multi_day_frame(n_servers=1, n_days=7)
+        stats = SgxReadStats()
+        part = frame_from_sgx_bytes(
+            frame_to_sgx_bytes(frame), start_minute=3000, end_minute=3100, stats=stats
+        )
+        assert part.series("srv-0") == frame.series("srv-0").slice(3000, 3100)
+        assert stats.chunks_pruned == 6
+
+    def test_one_day_read_verifies_fraction_of_payload(self):
+        frame = multi_day_frame(n_servers=4, n_days=7)
+        data = frame_to_sgx_bytes(frame)
+        full = SgxReadStats()
+        frame_from_sgx_bytes(data, stats=full)
+        day = SgxReadStats()
+        frame_from_sgx_bytes(data, start_minute=0, end_minute=1440, stats=day)
+        assert full.payload_bytes_verified == full.payload_bytes_total
+        assert day.payload_bytes_verified * 2 <= full.payload_bytes_verified
+        assert day.payload_bytes_verified == full.payload_bytes_total // 7
+        assert day.chunks_pruned == 4 * 6
+
+    def test_damage_in_pruned_day_is_skipped_within_server(self):
+        # v2's point: damage in day 6 must not block a day-0 read of the
+        # *same* server.
+        frame = multi_day_frame(n_servers=1, n_days=7)
+        data = bytearray(frame_to_sgx_bytes(frame))
+        data[-4] ^= 0xFF  # last bytes belong to the final day's values
+        with pytest.raises(ColumnarFormatError, match="checksum"):
+            frame_from_sgx_bytes(bytes(data))
+        part = frame_from_sgx_bytes(bytes(data), start_minute=0, end_minute=1440)
+        assert part.series("srv-0") == frame.series("srv-0").slice(0, 1440)
+
+    def test_gap_spanning_whole_days_writes_no_empty_chunks(self):
+        frame = LoadFrame(5)
+        ts = np.concatenate(
+            [np.arange(0, 1440, 5, dtype=np.int64), np.arange(4320, 5760, 5, dtype=np.int64)]
+        )
+        series = LoadSeries(ts, np.zeros(ts.shape[0]), 5, validate=False)
+        frame.add_server(ServerMetadata(server_id="gappy"), series)
+        info = sgx_summary(frame_to_sgx_bytes(frame))
+        assert info["n_chunks"] == 2  # days 1-2 are absent, not empty chunks
+        restored = frame_from_sgx_bytes(frame_to_sgx_bytes(frame))
+        assert restored.series("gappy") == series
+
+    def test_empty_series_sentinel_chunk(self):
+        frame = LoadFrame(5)
+        frame.add_server(ServerMetadata(server_id="idle"), LoadSeries.empty(5))
+        data = frame_to_sgx_bytes(frame)
+        info = sgx_summary(data)
+        assert info["n_chunks"] == 1
+        assert info["chunks"][0]["n_points"] == 0
+        assert info["chunks"][0]["min_ts"] > info["chunks"][0]["max_ts"]  # matches no range
+        assert frame_from_sgx_bytes(data).series("idle").is_empty
+        # Under pruning the sentinel matches nothing, so the server drops.
+        assert len(frame_from_sgx_bytes(data, start_minute=0, end_minute=10)) == 0
+
+    def test_out_of_order_chunks_rejected(self):
+        # Hand-assemble a v2 file whose two chunks are swapped in time but
+        # whose CRCs are all internally consistent -- the reader must not
+        # silently merge them into a corrupt (unsorted) series.
+        import struct as _struct
+        import zlib as _zlib
+
+        def packed(text):
+            encoded = text.encode()
+            return _struct.pack("<H", len(encoded)) + encoded
+
+        day0_ts = np.arange(0, 1440, 5, dtype="<i8")
+        day1_ts = np.arange(1440, 2880, 5, dtype="<i8")
+        vs = np.zeros(day0_ts.shape[0], dtype="<f8")
+        payloads, table = [], b""
+        for ts in (day1_ts, day0_ts):  # wrong order on purpose
+            payload = ts.tobytes() + vs.tobytes()
+            table += columnar._CHUNK_HEADER.pack(
+                ts.shape[0], int(ts[0]), int(ts[-1]), _zlib.crc32(payload)
+            )
+            payloads.append(payload)
+        dict_section = packed("r") + packed("e") + packed("")
+        record = packed("srv-0") + columnar._SERVER_FIXED.pack(0, 1, 2, 0, 0, 60, 2) + table
+        structure_crc = _zlib.crc32(record, _zlib.crc32(dict_section))
+        body = dict_section + record + b"".join(payloads)
+        header = columnar._HEADER.pack(
+            MAGIC, 2, 0, 5, 1, 3, HEADER_BYTES + len(body), structure_crc
+        )
+        data = header + _struct.pack("<I", _zlib.crc32(header)) + body
+        with pytest.raises(ColumnarFormatError, match="out-of-order"):
+            frame_from_sgx_bytes(data)
+
+    def test_truncated_chunk_table_detected(self):
+        frame = multi_day_frame(n_servers=1, n_days=3)
+        data = frame_to_sgx_bytes(frame)
+        with pytest.raises(ColumnarFormatError, match="truncated"):
+            frame_from_sgx_bytes(data[: len(data) // 2])
+
+
+class TestV1Compatibility:
+    """Files written by the v1 (single-chunk) writer stay readable."""
+
+    def test_v1_roundtrip_preserves_content_hash(self):
+        frame = build_frame()
+        data = frame_to_sgx_v1_bytes(frame)
+        assert sgx_version(data) == 1
+        restored = frame_from_sgx_bytes(data)
+        assert restored.content_hash() == frame.content_hash()
+
+    def test_v1_metadata_preserved(self):
+        frame = build_frame()
+        restored = frame_from_sgx_bytes(frame_to_sgx_v1_bytes(frame))
+        for server_id in frame.server_ids():
+            assert restored.metadata(server_id) == frame.metadata(server_id)
+
+    def test_v1_summary_reports_version_and_single_chunks(self):
+        frame = multi_day_frame(n_servers=2, n_days=7)
+        info = sgx_summary(frame_to_sgx_v1_bytes(frame))
+        assert info["version"] == 1
+        assert info["n_servers"] == 2
+        assert info["n_chunks"] == 2  # one whole-series chunk per server
+
+    def test_v1_pruned_read_still_works_per_server(self):
+        frame = build_frame(n_servers=3, points=12)  # server i starts at i*1440
+        data = frame_to_sgx_v1_bytes(frame)
+        part = frame_from_sgx_bytes(data, start_minute=1440, end_minute=2880)
+        assert part.server_ids() == ["srv-1"]
+
+    def test_v1_time_slice_within_server(self):
+        frame = multi_day_frame(n_servers=1, n_days=7)
+        data = frame_to_sgx_v1_bytes(frame)
+        part = frame_from_sgx_bytes(data, start_minute=1000, end_minute=2000)
+        assert part.series("srv-0") == frame.series("srv-0").slice(1000, 2000)
+
+    def test_v1_empty_series_roundtrip(self):
+        frame = LoadFrame(5)
+        frame.add_server(ServerMetadata(server_id="idle"), LoadSeries.empty(5))
+        restored = frame_from_sgx_bytes(frame_to_sgx_v1_bytes(frame))
+        assert restored.series("idle").is_empty
+
+    def test_v1_payload_corruption_detected(self):
+        data = bytearray(frame_to_sgx_v1_bytes(build_frame()))
+        data[-1] ^= 0x01
+        with pytest.raises(ColumnarFormatError, match="checksum"):
+            frame_from_sgx_bytes(bytes(data))
+
+    def test_version_two_is_current(self):
+        assert columnar.VERSION == 2
+        assert sgx_version(frame_to_sgx_bytes(build_frame())) == 2
+
+
+class TestBufferHandling:
+    """Reads from bytearray/memoryview must not copy the whole file."""
+
+    def test_bytearray_and_memoryview_inputs_roundtrip(self):
+        frame = build_frame()
+        data = frame_to_sgx_bytes(frame)
+        for buffer in (bytearray(data), memoryview(data), memoryview(bytearray(data))):
+            restored = frame_from_sgx_bytes(buffer)
+            assert restored.content_hash() == frame.content_hash()
+
+    def test_mutable_buffer_read_does_not_alias_caller_memory(self):
+        frame = build_frame(n_servers=1, points=12)
+        buffer = bytearray(frame_to_sgx_bytes(frame))
+        restored = frame_from_sgx_bytes(buffer)
+        before = restored.series("srv-0").values.copy()
+        buffer[-5] ^= 0xFF  # caller mutates its buffer after the read
+        assert np.array_equal(restored.series("srv-0").values, before)
+
+    def test_pruned_read_never_materialises_full_copy(self):
+        import tracemalloc
+
+        frame = multi_day_frame(n_servers=24, n_days=7)
+        buffer = bytearray(frame_to_sgx_bytes(frame))  # ~2.3 MB
+        view = memoryview(buffer)
+        tracemalloc.start()
+        try:
+            frame_from_sgx_bytes(view, start_minute=0, end_minute=1440)
+            _current, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        # The old implementation called bytes(data) up front: peak would
+        # be at least the full file size.  A pruned read keeps ~1/7.
+        assert peak < len(buffer) // 2
+
+    def test_summary_accepts_mutable_buffers(self):
+        frame = build_frame()
+        info = sgx_summary(bytearray(frame_to_sgx_bytes(frame)))
+        assert info["n_servers"] == len(frame)
 
 
 class TestSummary:

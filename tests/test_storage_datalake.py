@@ -303,6 +303,94 @@ class TestTimeRangeReads:
         assert via_csv.content_hash() == via_sgx.content_hash()
 
 
+class TestChunkPolicy:
+    """The store's ``chunk_minutes`` knob reaches the columnar writer."""
+
+    def week_frame(self) -> LoadFrame:
+        frame = LoadFrame(5)
+        frame.add_server(
+            ServerMetadata(server_id="s0", region="r0"),
+            make_series([1.0] * (7 * 288), start=0),
+        )
+        return frame
+
+    def _chunks(self, store, key) -> int:
+        from repro.storage.columnar import sgx_summary
+
+        _fmt, raw = store.read_extract_bytes(key)
+        return sgx_summary(raw)["n_chunks"]
+
+    def test_default_policy_is_one_chunk_per_day(self):
+        store = DataLakeStore(write_format="sgx")
+        key = ExtractKey("r0", 0)
+        store.write_extract(key, self.week_frame())
+        assert self._chunks(store, key) == 7
+
+    def test_store_chunk_minutes_config(self):
+        store = DataLakeStore(write_format="sgx", chunk_minutes=0)
+        key = ExtractKey("r0", 0)
+        store.write_extract(key, self.week_frame())
+        assert self._chunks(store, key) == 1
+
+    def test_write_extract_override_beats_store_config(self):
+        store = DataLakeStore(write_format="sgx", chunk_minutes=0)
+        key = ExtractKey("r0", 0)
+        store.write_extract(key, self.week_frame(), chunk_minutes=720)
+        assert self._chunks(store, key) == 14
+
+    def test_negative_chunk_minutes_rejected(self):
+        with pytest.raises(ValueError, match="chunk_minutes"):
+            DataLakeStore(chunk_minutes=-5)
+
+    def test_write_extract_bytes_stores_exact_payload(self):
+        store = DataLakeStore()
+        key = ExtractKey("r0", 0)
+        payload = frame_to_sgx_bytes(self.week_frame(), chunk_minutes=0)
+        store.write_extract_bytes(key, "sgx", payload)
+        fmt, raw = store.read_extract_bytes(key)
+        assert (fmt, raw) == ("sgx", payload)
+
+    def test_write_extract_bytes_drops_stale_other_format(self):
+        store = DataLakeStore()
+        key = ExtractKey("r0", 0)
+        store.write_extract(key, self.week_frame(), fmt="csv")
+        payload = frame_to_sgx_bytes(self.week_frame())
+        store.write_extract_bytes(key, "sgx", payload)
+        assert store.extract_formats(key) == ("sgx",)
+        store.write_extract(key, self.week_frame(), fmt="csv", keep_other_formats=True)
+        store.write_extract_bytes(key, "sgx", payload, keep_other_formats=True)
+        assert store.extract_formats(key) == ("sgx", "csv")
+
+    def test_partial_read_within_server_matches_slice(self, tmp_path):
+        store = DataLakeStore(tmp_path, write_format="sgx")
+        key = ExtractKey("r0", 0)
+        frame = self.week_frame()
+        store.write_extract(key, frame)
+        part = store.read_extract(key, start_minute=1440, end_minute=2880)
+        assert part.series("s0") == frame.series("s0").slice(1440, 2880)
+
+    def test_unsorted_series_write_is_rejected_loudly(self):
+        # The lake must surface the writer's zone-map guard, not persist
+        # a corrupt extract.
+        import numpy as np
+
+        from repro.timeseries.series import LoadSeries
+
+        frame = LoadFrame(5)
+        series = LoadSeries(
+            np.array([10, 0, 5], dtype=np.int64),
+            np.zeros(3),
+            5,
+            validate=False,
+        )
+        frame.add_server(ServerMetadata(server_id="bad", region="r0"), series)
+        store = DataLakeStore(write_format="sgx")
+        key = ExtractKey("r0", 0)
+        with pytest.raises(ColumnarFormatError, match="bad"):
+            store.write_extract(key, frame)
+        assert not store.has_extract(key)
+
+
 class TestCorruptionFallback:
     def _corrupt_sgx(self, store, key):
         path = store.root / key.region / key.filename("sgx")
