@@ -86,21 +86,33 @@ def main() -> None:
               f"predictable {summary.pct_predictable_servers:.1f}%")
 
     # ---- 4. Online scheduling within the runner service -------------------
+    # Runners consume predictions through the pipeline's serving layer:
+    # requests route to each region's ACTIVE model version and repeated
+    # horizon queries are answered from the prediction cache.
     for region in regions:
         result = results[region]
-        runner = RunnerService(region, BackupScheduler(), probes={"backup_service": lambda: True})
+        runner = RunnerService(
+            region,
+            BackupScheduler(),
+            probes={"backup_service": lambda: True},
+            serving=pipeline.serving,
+        )
         region_fleet = fleet.filter(lambda md, s: md.region == region)
         metadata = {sid: region_fleet.metadata(sid) for sid in region_fleet.server_ids()}
         execution = runner.run_day(
             cluster=f"{region}-cluster-0",
             day=spec.weeks * 7 - 1,
             metadata_by_server=metadata,
-            predictions=result.predictions,
             verdicts=result.predictability,
         )
         moved = sum(1 for d in execution.decisions.values() if d.moved)
+        served = execution.serving
         print(f"\n{region}: scheduled {len(execution.decisions)} backups, moved {moved} "
               f"into predicted LL windows (availability {runner.availability():.0%})")
+        if served is not None:
+            print(f"  served by model version v{served.served_by_version}: "
+                  f"{served.n_served} predictions, {served.cache_hits} cache hits, "
+                  f"{len(served.skipped)} skipped")
 
         # ---- 5. Impact analysis (Figure 13(a)) ----------------------------
         features = FeatureExtractionModule().extract_frame(region_fleet)

@@ -13,6 +13,9 @@ The package mirrors the paper's architecture:
   accuracy metrics).
 * :mod:`repro.core` -- the use-case-agnostic pipeline, model registry,
   scoring endpoints, scheduler, incidents and dashboard.
+* :mod:`repro.serving` -- the unified prediction-serving API: typed
+  requests/responses, version routing with fallback, batching and an LRU
+  prediction cache.  Every prediction consumer goes through it.
 * :mod:`repro.scheduling` -- the backup-scheduling use case (online
   components and impact analysis).
 * :mod:`repro.autoscale` -- the preemptive auto-scale use case
@@ -44,6 +47,12 @@ from repro.metrics.ll_window import lowest_load_window, is_window_correctly_chos
 from repro.models.registry import available_models, create_forecaster
 from repro.scheduling.backup import BackupScheduler
 from repro.scheduling.impact import BackupImpactAnalyzer
+from repro.serving import (
+    BatchPredictionResponse,
+    PredictionRequest,
+    PredictionResponse,
+    PredictionService,
+)
 from repro.storage.artifacts import ArtifactStore
 from repro.storage.datalake import DataLakeStore, ExtractKey
 from repro.storage.documentdb import DocumentStore
@@ -82,6 +91,10 @@ __all__ = [
     "SeagullPipeline",
     "PipelineRunResult",
     "ModelRegistry",
+    "PredictionService",
+    "PredictionRequest",
+    "PredictionResponse",
+    "BatchPredictionResponse",
     "PipelineScheduler",
     "BackupScheduler",
     "BackupImpactAnalyzer",

@@ -11,7 +11,8 @@ components:
 * :mod:`~repro.core.registry` -- model deployment and version tracking,
   including fallback to the last known-good model.
 * :mod:`~repro.core.endpoints` -- the "REST endpoint" abstraction that
-  serves predictions for a deployed model version.
+  serves predictions for a deployed model version (an internal transport
+  of :mod:`repro.serving`; consumers address the serving API instead).
 * :mod:`~repro.core.scheduler` -- the recurring pipeline scheduler (one run
   per region per week).
 * :mod:`~repro.core.incidents` -- incident management (alerts raised on
@@ -23,7 +24,7 @@ components:
 from repro.core.config import PipelineConfig
 from repro.core.dashboard import Dashboard, DashboardEvent
 from repro.core.drift import DriftDetector, DriftReport, DriftThresholds
-from repro.core.endpoints import ScoringEndpoint
+from repro.core.endpoints import BatchScoringResult, ScoringEndpoint
 from repro.core.incidents import Incident, IncidentManager, IncidentSeverity
 from repro.core.pipeline import PipelineRunResult, SeagullPipeline
 from repro.core.registry import ModelRecord, ModelRegistry, ModelStatus
@@ -37,6 +38,7 @@ __all__ = [
     "ModelRecord",
     "ModelStatus",
     "ScoringEndpoint",
+    "BatchScoringResult",
     "PipelineScheduler",
     "ScheduledRun",
     "IncidentManager",

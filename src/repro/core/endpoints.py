@@ -9,7 +9,9 @@ statistics the dashboard can display.
 
 from __future__ import annotations
 
-from collections.abc import Mapping
+import threading
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
 
 from repro.models.base import Forecaster
 from repro.timeseries.series import LoadSeries
@@ -17,6 +19,25 @@ from repro.timeseries.series import LoadSeries
 
 class EndpointError(RuntimeError):
     """Raised when a prediction is requested for an unknown server."""
+
+
+@dataclass(frozen=True)
+class BatchScoringResult:
+    """Outcome of one :meth:`ScoringEndpoint.predict_many` call.
+
+    Per-server failures never abort the batch: ``predictions`` holds the
+    successes, ``skipped`` the servers this version has no model for, and
+    ``failed`` maps servers whose forecaster raised to the error message.
+    """
+
+    predictions: dict[str, LoadSeries] = field(default_factory=dict)
+    skipped: tuple[str, ...] = ()
+    failed: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        """Whether every requested server was actually scored."""
+        return not self.skipped and not self.failed
 
 
 class ScoringEndpoint:
@@ -35,6 +56,9 @@ class ScoringEndpoint:
         self._forecasters = dict(forecasters)
         self._requests = 0
         self._failures = 0
+        # The serving layer fans predict_many chunks across a thread pool;
+        # counter increments are read-modify-writes and need the lock.
+        self._stats_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
 
@@ -76,27 +100,50 @@ class ScoringEndpoint:
         (short-lived servers and servers that failed training are not
         deployed).
         """
-        self._requests += 1
+        with self._stats_lock:
+            self._requests += 1
         forecaster = self._forecasters.get(server_id)
         if forecaster is None:
-            self._failures += 1
+            with self._stats_lock:
+                self._failures += 1
             raise EndpointError(
                 f"endpoint {self._region} v{self._version} has no model for {server_id!r}"
             )
         try:
             return forecaster.predict(n_points)
         except Exception:
-            self._failures += 1
+            with self._stats_lock:
+                self._failures += 1
             raise
 
-    def predict_many(self, server_ids: list[str], n_points: int) -> dict[str, LoadSeries]:
-        """Predict for several servers, skipping the ones that cannot be scored."""
+    def predict_many(self, server_ids: Iterable[str], n_points: int) -> BatchScoringResult:
+        """Predict for several servers with per-server failure isolation.
+
+        Servers without a deployed model land in ``skipped`` (they were
+        never scorable, so they count neither as requests nor failures);
+        a forecaster exception mid-batch is recorded in ``failed`` and the
+        remaining servers are still scored.  Accepts any iterable of
+        server ids.
+        """
         predictions: dict[str, LoadSeries] = {}
+        skipped: list[str] = []
+        failed: dict[str, str] = {}
         for server_id in server_ids:
-            if not self.can_score(server_id):
+            forecaster = self._forecasters.get(server_id)
+            if forecaster is None:
+                skipped.append(server_id)
                 continue
-            predictions[server_id] = self.predict(server_id, n_points)
-        return predictions
+            with self._stats_lock:
+                self._requests += 1
+            try:
+                predictions[server_id] = forecaster.predict(n_points)
+            except Exception as exc:
+                with self._stats_lock:
+                    self._failures += 1
+                failed[server_id] = f"{type(exc).__name__}: {exc}"
+        return BatchScoringResult(
+            predictions=predictions, skipped=tuple(skipped), failed=failed
+        )
 
     def health(self) -> dict[str, object]:
         """Health summary shown on the dashboard."""

@@ -37,7 +37,6 @@ from dataclasses import dataclass, field
 from repro.core import stage_cache
 from repro.core.config import PipelineConfig
 from repro.core.dashboard import Dashboard
-from repro.core.endpoints import ScoringEndpoint
 from repro.core.incidents import IncidentManager, IncidentSeverity
 from repro.core.registry import DeploymentError, ModelRecord, ModelRegistry
 from repro.features.classification import ClassificationResult, ServerClassLabel, classify_frame
@@ -52,6 +51,8 @@ from repro.models.base import ForecastError, Forecaster
 from repro.models.cached import PrecomputedForecaster
 from repro.models.registry import create_forecaster
 from repro.parallel.executor import PartitionedExecutor
+from repro.serving.api import BatchPredictionResponse
+from repro.serving.service import PredictionService
 from repro.storage.artifacts import ArtifactStore, artifact_key
 from repro.storage.datalake import DataLakeStore, ExtractKey
 from repro.storage.documentdb import DocumentStore
@@ -91,7 +92,9 @@ class PipelineRunResult:
     summary: EvaluationSummary | None = None
     predictability: dict[str, PredictabilityVerdict] = field(default_factory=dict)
     model_record: ModelRecord | None = None
-    endpoint: ScoringEndpoint | None = None
+    #: Serving metadata of the inference batch (cache hits, latency,
+    #: skipped/failed servers); ``None`` when nothing was deployed.
+    serving: BatchPredictionResponse | None = None
     timings: dict[str, float] = field(default_factory=dict)
     fell_back: bool = False
     #: Per-stage artifact-cache decisions: ``"hit"`` or ``"miss"``; empty
@@ -119,16 +122,24 @@ class PipelineRunResult:
             "n_predictable": sum(1 for v in self.predictability.values() if v.predictable),
             "fell_back": self.fell_back,
             "cache_events": dict(self.cache_events),
+            "serving": self.serving.as_dict() if self.serving is not None else None,
         }
 
 
 @dataclass
 class _DeployableModels:
-    """Output of the train/infer stage handed to deployment and evaluation."""
+    """Output of the training stage handed to deployment and evaluation."""
 
     forecasters: dict[str, Forecaster]
     eval_predictions: dict[str, LoadSeries]
     eval_days: dict[str, list[int]]
+    #: Seconds spent on history-day inference during training (the
+    #: backup-day horizon is served through the serving layer afterwards).
+    inference_seconds: float = 0.0
+    #: Artifact-cache key to store the stage output under once the served
+    #: backup-day predictions are known; ``None`` on a cache hit or when
+    #: caching is off.
+    cache_key: str | None = None
 
 
 class SeagullPipeline:
@@ -146,17 +157,42 @@ class SeagullPipeline:
         dashboard: Dashboard | None = None,
         artifact_cache: ArtifactStore | None = None,
         executor: PartitionedExecutor | None = None,
+        serving: PredictionService | None = None,
     ) -> None:
         self._config = config if config is not None else PipelineConfig()
         self._lake = data_lake
         self._store = document_store
-        self._registry = (
-            model_registry
-            if model_registry is not None
-            else ModelRegistry(document_store, self._config.models_container)
-        )
         self._incidents = incident_manager if incident_manager is not None else IncidentManager()
         self._dashboard = dashboard if dashboard is not None else Dashboard()
+        # The pipeline deploys fitted models *into* the serving layer and
+        # serves its own backup-day inference through it.  An injected
+        # service must share one registry with the pipeline, otherwise
+        # accuracy tracking and fallback would diverge from routing.
+        if serving is not None:
+            if model_registry is not None and serving.registry is not model_registry:
+                raise ValueError(
+                    "serving and model_registry must share the same ModelRegistry"
+                )
+            if document_store is not None and serving.registry.store is None:
+                # Refuse loudly: silently adopting the service's in-memory
+                # registry would stop persisting model records to the
+                # document store this pipeline was explicitly given.
+                raise ValueError(
+                    "pipeline has a document store but the injected serving's "
+                    "registry does not persist records; construct the "
+                    "PredictionService with ModelRegistry(document_store, ...)"
+                )
+            self._registry = serving.registry
+            self._serving = serving
+        else:
+            self._registry = (
+                model_registry
+                if model_registry is not None
+                else ModelRegistry(document_store, self._config.models_container)
+            )
+            self._serving = PredictionService(
+                registry=self._registry, dashboard=self._dashboard
+            )
         self._artifacts = artifact_cache
         # Data properties are deduced per region (Section 2.4): region sizes
         # and load distributions differ, so each region gets its own
@@ -192,6 +228,11 @@ class SeagullPipeline:
     @property
     def registry(self) -> ModelRegistry:
         return self._registry
+
+    @property
+    def serving(self) -> PredictionService:
+        """The serving layer this pipeline deploys into."""
+        return self._serving
 
     @property
     def incidents(self) -> IncidentManager:
@@ -275,8 +316,9 @@ class SeagullPipeline:
         # any stage, but not free).
         content_hash = frame.content_hash() if self._artifacts is not None else ""
         self._stage_features(frame, result, content_hash)
-        deployed = self._stage_train_infer(frame, result, content_hash)
+        deployed = self._stage_train(frame, result, content_hash)
         self._stage_deploy(result, deployed.forecasters)
+        self._stage_inference(result, deployed)
         self._stage_evaluate(frame, result, content_hash, deployed)
         self._stage_track_accuracy(result)
 
@@ -355,15 +397,19 @@ class SeagullPipeline:
         )
         result.timings["feature_extraction"] = time.perf_counter() - started
 
-    def _stage_train_infer(
+    def _stage_train(
         self, frame: LoadFrame, result: PipelineRunResult, content_hash: str
     ) -> "_DeployableModels":
-        """Per-server model fitting and backup-day inference.
+        """Per-server model fitting plus history-day inference.
 
-        On a cache hit the fitted models are not re-created; the cached
-        backup-day predictions are wrapped in
-        :class:`~repro.models.cached.PrecomputedForecaster` instances so the
-        deployed endpoint serves identical values.
+        The backup-day horizon itself is *not* predicted here: the fitted
+        forecasters are deployed into the serving layer and the pipeline
+        asks :class:`~repro.serving.service.PredictionService` for them in
+        :meth:`_stage_inference`, like every other consumer.  On a cache
+        hit the fitted models are not re-created; the cached backup-day
+        predictions are wrapped in
+        :class:`~repro.models.cached.PrecomputedForecaster` instances so
+        the deployed version serves identical values.
         """
         config = self._config
         started = time.perf_counter()
@@ -379,13 +425,11 @@ class SeagullPipeline:
                     stage_cache.decode_train_infer(payload)
                 )
                 result.backup_days = backup_days
-                result.predictions = predictions
                 forecasters: dict[str, Forecaster] = {
                     server_id: PrecomputedForecaster(prediction, config.model_name)
                     for server_id, prediction in predictions.items()
                 }
                 result.timings["model_training"] = time.perf_counter() - started
-                result.timings["inference"] = 0.0
                 return _DeployableModels(forecasters, eval_predictions, eval_days)
             except Exception:
                 result.cache_events[stage_cache.STAGE_TRAIN_INFER] = "miss"
@@ -424,17 +468,18 @@ class SeagullPipeline:
                     train_started = time.perf_counter()
                     forecaster.fit(history)
                     training_seconds += time.perf_counter() - train_started
-
+                except ForecastError:
+                    continue
+                if day == backup_day:
+                    deployed_forecasters[server_id] = forecaster
+                    continue
+                try:
                     infer_started = time.perf_counter()
                     prediction = forecaster.predict(points_day * config.horizon_days)
                     inference_seconds += time.perf_counter() - infer_started
                 except ForecastError:
                     continue
-                if day == backup_day:
-                    deployed_forecasters[server_id] = forecaster
-                    result.predictions[server_id] = prediction
-                else:
-                    server_days.append(day)
+                server_days.append(day)
                 if combined_prediction is None:
                     combined_prediction = prediction
                 else:
@@ -444,37 +489,63 @@ class SeagullPipeline:
                 eval_days[server_id] = server_days
 
         result.timings["model_training"] = training_seconds
-        result.timings["inference"] = inference_seconds
-        if key is not None:
-            self._cache_store(
-                key,
-                stage_cache.encode_train_infer(
-                    result.backup_days, result.predictions, eval_predictions, eval_days
-                ),
-            )
-        return _DeployableModels(deployed_forecasters, eval_predictions, eval_days)
+        return _DeployableModels(
+            deployed_forecasters,
+            eval_predictions,
+            eval_days,
+            inference_seconds=inference_seconds,
+            cache_key=key,
+        )
 
     def _stage_deploy(
         self, result: PipelineRunResult, forecasters: dict[str, Forecaster]
     ) -> None:
-        """Register the new model version and expose the scoring endpoint."""
+        """Deploy the fitted models into the serving layer as a new version."""
         config = self._config
         started = time.perf_counter()
-        record = self._registry.deploy(
+        result.model_record = self._serving.deploy(
             region=result.region,
             model_name=config.model_name,
             trained_week=result.week,
+            forecasters=forecasters,
             notes=f"run {result.run_id}",
         )
-        endpoint = ScoringEndpoint(
-            region=result.region,
-            model_name=config.model_name,
-            version=record.version,
-            forecasters=forecasters,
-        )
-        result.model_record = record
-        result.endpoint = endpoint
         result.timings["model_deployment"] = time.perf_counter() - started
+
+    def _stage_inference(
+        self, result: PipelineRunResult, deployed: "_DeployableModels"
+    ) -> None:
+        """Serve the backup-day horizon through the prediction service.
+
+        The pipeline consumes its own deployment exactly like the backup
+        scheduler or the autoscale predictor would: one batched request
+        against the region's active version.  Completing the stage also
+        persists the train/infer artifact-cache entry (it needs the served
+        predictions).
+        """
+        config = self._config
+        started = time.perf_counter()
+        if deployed.forecasters:
+            batch = self._serving.predict_batch(
+                region=result.region,
+                n_points=points_per_day(config.interval_minutes) * config.horizon_days,
+                server_ids=sorted(deployed.forecasters),
+            )
+            result.serving = batch
+            result.predictions = batch.predictions()
+        result.timings["inference"] = deployed.inference_seconds + (
+            time.perf_counter() - started
+        )
+        if deployed.cache_key is not None:
+            self._cache_store(
+                deployed.cache_key,
+                stage_cache.encode_train_infer(
+                    result.backup_days,
+                    result.predictions,
+                    deployed.eval_predictions,
+                    deployed.eval_days,
+                ),
+            )
 
     def _stage_evaluate(
         self,
@@ -585,3 +656,10 @@ class SeagullPipeline:
                 {"component": component, "seconds": seconds},
             )
         self._dashboard.record(result.run_id, result.region, "run_summary", result.as_dict())
+        if result.model_record is not None:
+            self._dashboard.record(
+                result.run_id,
+                result.region,
+                "serving_health",
+                self._serving.health(result.region),
+            )

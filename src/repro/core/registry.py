@@ -68,6 +68,11 @@ class ModelRegistry:
         if self._store is not None:
             self._store.create_container(container)
 
+    @property
+    def store(self) -> DocumentStore | None:
+        """The document store records are persisted to (``None`` = in-memory)."""
+        return self._store
+
     # ------------------------------------------------------------------ #
 
     def deploy(

@@ -192,6 +192,12 @@ def _execute_unit(task: _UnitTask) -> FleetUnitOutcome:
     # real parse cost to data_ingestion so fleet runtimes stay honest.
     result.timings["data_ingestion"] = ingest_seconds
 
+    # Predictions flow through the unit's serving layer; roll its health
+    # (version routing, request/cache counters) into the fleet report.
+    serving = (
+        pipeline.serving.health(task.region) if result.model_record is not None else {}
+    )
+
     outcome = FleetUnitOutcome(
         region=task.region,
         week=task.week,
@@ -206,6 +212,7 @@ def _execute_unit(task: _UnitTask) -> FleetUnitOutcome:
         incidents=[incident.as_dict() for incident in incidents.incidents()],
         cache_events=dict(result.cache_events),
         wall_seconds=time.perf_counter() - started,
+        serving=serving,
     )
     if cache is not None and result.succeeded:
         cache.put(unit_key, outcome.to_payload())

@@ -35,6 +35,9 @@ class FleetUnitOutcome:
     wall_seconds: float
     #: Whether the whole unit was served from the outcome cache.
     from_unit_cache: bool = False
+    #: Serving-health summary of the unit's prediction service (empty when
+    #: nothing was deployed, e.g. on validation aborts).
+    serving: dict[str, Any] = field(default_factory=dict)
 
     def as_cache_hit(self, wall_seconds: float) -> "FleetUnitOutcome":
         """This outcome as served from the unit cache on a later run.
@@ -57,6 +60,7 @@ class FleetUnitOutcome:
             cache_events={"unit_outcome": "hit"},
             wall_seconds=wall_seconds,
             from_unit_cache=True,
+            serving=dict(self.serving),
         )
 
     def to_payload(self) -> dict[str, Any]:
@@ -74,6 +78,7 @@ class FleetUnitOutcome:
             "incidents": list(self.incidents),
             "cache_events": dict(self.cache_events),
             "wall_seconds": self.wall_seconds,
+            "serving": dict(self.serving),
         }
 
     @classmethod
@@ -93,6 +98,7 @@ class FleetUnitOutcome:
             incidents=[dict(incident) for incident in payload["incidents"]],
             cache_events={k: str(v) for k, v in payload["cache_events"].items()},
             wall_seconds=float(payload["wall_seconds"]),
+            serving=dict(payload.get("serving") or {}),
         )
 
 
@@ -211,6 +217,36 @@ class FleetReport:
                     summary["stage_misses"] += 1
         return summary
 
+    def serving_rollup(self) -> dict[str, int]:
+        """Prediction-serving activity across units.
+
+        Aggregates each unit's :class:`~repro.serving.service.
+        PredictionService` health summary: requests routed, predictions
+        served, serving-cache hits, per-server failures and how many
+        units' routing had flipped to a fallback version.
+        """
+        rollup = {
+            "requests": 0,
+            "served": 0,
+            "cache_hits": 0,
+            "failures": 0,
+            "units_with_deployment": 0,
+            "units_fell_back": 0,
+        }
+        for outcome in self.outcomes:
+            serving = outcome.serving
+            if not serving:
+                continue
+            rollup["units_with_deployment"] += 1
+            if serving.get("fell_back"):
+                rollup["units_fell_back"] += 1
+            stats = serving.get("stats") or {}
+            rollup["requests"] += int(stats.get("requests", 0))
+            rollup["served"] += int(stats.get("served", 0))
+            rollup["cache_hits"] += int(stats.get("cache_hits", 0))
+            rollup["failures"] += int(stats.get("failures", 0))
+        return rollup
+
     # ------------------------------------------------------------------ #
     # Serialization and rendering
     # ------------------------------------------------------------------ #
@@ -228,6 +264,7 @@ class FleetReport:
             "predictability": self.predictability_rollup(),
             "incidents": self.incident_rollup(),
             "cache": self.cache_summary(),
+            "serving": self.serving_rollup(),
             "outcomes": [outcome.to_payload() for outcome in self.outcomes],
         }
 
@@ -265,5 +302,11 @@ class FleetReport:
         lines.append(
             f"Cache: {cache['unit_hits']} unit hits, {cache['stage_hits']} stage hits, "
             f"{cache['stage_misses']} stage misses"
+        )
+        serving = self.serving_rollup()
+        lines.append(
+            f"Serving: {serving['served']}/{serving['requests']} predictions served "
+            f"({serving['cache_hits']} cache hits, {serving['failures']} failures, "
+            f"{serving['units_fell_back']} units on fallback versions)"
         )
         return "\n".join(lines)

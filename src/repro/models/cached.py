@@ -43,6 +43,11 @@ class PrecomputedForecaster(Forecaster):
         """Name of the model that originally produced the prediction."""
         return self._source_model
 
+    @property
+    def prediction(self) -> LoadSeries:
+        """The full replayed series (the serving layer fingerprints it)."""
+        return self._prediction
+
     def predict(self, n_points: int) -> LoadSeries:
         if n_points <= 0:
             raise ValueError("n_points must be positive")

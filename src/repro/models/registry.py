@@ -56,8 +56,13 @@ MODEL_DISPLAY_NAMES: dict[str, str] = {
 }
 
 
-class UnknownModelError(KeyError):
-    """Raised when a model name is not present in the registry."""
+class UnknownModelError(LookupError):
+    """Raised when a model name is not present in the registry.
+
+    Derives from :class:`LookupError` rather than :class:`KeyError`:
+    ``KeyError.__str__`` renders its message through ``repr`` (wrapping it
+    in quotes), which made ``str(err)`` unusable in user-facing output.
+    """
 
 
 def canonical_name(name: str) -> str:
@@ -66,7 +71,8 @@ def canonical_name(name: str) -> str:
     key = _ALIASES.get(key, key)
     if key not in _REGISTRY:
         raise UnknownModelError(
-            f"unknown model {name!r}; available: {sorted(_REGISTRY)}"
+            f"unknown model {name!r}; available: {sorted(_REGISTRY)}; "
+            f"accepted aliases: {sorted(_ALIASES)}"
         )
     return key
 

@@ -1,0 +1,39 @@
+"""Unified prediction-serving API (Section 2.2's production story).
+
+Trained per-server models are deployed *into* a
+:class:`~repro.serving.service.PredictionService`; every prediction
+consumer -- the pipeline's inference stage, the backup-scheduling runner,
+the autoscale predictor, the fleet orchestrator -- addresses that one
+surface with typed :class:`~repro.serving.api.PredictionRequest` objects
+and gets typed responses back.  Version routing follows the model
+registry's ACTIVE record (so fallback-on-regression re-routes serving
+automatically), batches fan out over a partitioned executor, and an LRU
+cache answers repeated horizon queries without re-running models.
+"""
+
+from repro.serving.api import (
+    BatchPredictionResponse,
+    NoActiveVersionError,
+    PredictionRequest,
+    PredictionResponse,
+    ServingError,
+    ServingStats,
+    VersionMismatchError,
+)
+from repro.serving.cache import PredictionCache, PredictionCacheStats, prediction_cache_key
+from repro.serving.service import PredictionService, history_fingerprint
+
+__all__ = [
+    "BatchPredictionResponse",
+    "NoActiveVersionError",
+    "PredictionCache",
+    "PredictionCacheStats",
+    "PredictionRequest",
+    "PredictionResponse",
+    "PredictionService",
+    "ServingError",
+    "ServingStats",
+    "VersionMismatchError",
+    "history_fingerprint",
+    "prediction_cache_key",
+]

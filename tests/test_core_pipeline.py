@@ -70,8 +70,12 @@ class TestPipelineRun:
         assert result.model_record is not None
         active = pipeline.registry.active("region-0")
         assert active is not None
-        assert result.endpoint is not None
-        assert result.endpoint.version >= 1
+        # Inference was served through the prediction service from the
+        # version this run deployed.
+        assert result.serving is not None
+        assert result.serving.served_by_version == result.model_record.version
+        assert result.serving.n_served == len(result.predictions)
+        assert pipeline.serving.servers("region-0")
 
     def test_results_persisted_to_document_store(self, run_result):
         pipeline, result = run_result
@@ -248,9 +252,8 @@ class TestArtifactCachedPipeline:
         SeagullPipeline(PipelineConfig(), artifact_cache=cache).run(
             small_frame, region="region-0", week=3
         )
-        cached = SeagullPipeline(PipelineConfig(), artifact_cache=cache).run(
-            small_frame, region="region-0", week=3
-        )
+        warm_pipeline = SeagullPipeline(PipelineConfig(), artifact_cache=cache)
+        cached = warm_pipeline.run(small_frame, region="region-0", week=3)
         assert cached.predictions == fresh.predictions
         assert cached.backup_days == fresh.backup_days
         assert cached.summary == fresh.summary
@@ -260,9 +263,15 @@ class TestArtifactCachedPipeline:
         assert canonical_json([e.as_dict() for e in cached.evaluations]) == canonical_json(
             [e.as_dict() for e in fresh.evaluations]
         )
-        # The cache-hit endpoint serves the same forecasts.
+        # The cache-hit deployment serves the same forecasts through the
+        # serving API.
+        from repro.serving import PredictionRequest
+
         for sid, prediction in fresh.predictions.items():
-            assert cached.endpoint.predict(sid, len(prediction)) == prediction
+            response = warm_pipeline.serving.predict(
+                PredictionRequest(region="region-0", server_id=sid, n_points=len(prediction))
+            )
+            assert response.series == prediction
 
     def test_corrupt_cache_entry_recomputes_without_crash(self, small_frame):
         from repro.storage.artifacts import ARTIFACTS_CONTAINER, ArtifactStore

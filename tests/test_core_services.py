@@ -147,7 +147,33 @@ class TestScoringEndpoint:
     def test_predict_many_skips_unknown(self):
         endpoint = self.build_endpoint()
         result = endpoint.predict_many(["srv-0", "ghost"], 6)
-        assert list(result) == ["srv-0"]
+        assert list(result.predictions) == ["srv-0"]
+        assert result.skipped == ("ghost",)
+        assert result.failed == {}
+        assert not result.complete
+        # Skipped servers were never scorable: no request/failure counted.
+        assert endpoint.request_count == 1
+        assert endpoint.failure_count == 0
+
+    def test_predict_many_isolates_failures(self):
+        history = diurnal_series(7)
+        good = PreviousDayForecaster().fit(history)
+        endpoint = ScoringEndpoint(
+            "r0", "pf", 1, {"srv-bad": PreviousDayForecaster(), "srv-ok": good}
+        )
+        result = endpoint.predict_many(["srv-bad", "srv-ok"], 6)
+        # The unfitted forecaster raises mid-batch; srv-ok is still scored.
+        assert list(result.predictions) == ["srv-ok"]
+        assert "srv-bad" in result.failed
+        assert "NotFittedError" in result.failed["srv-bad"]
+        assert endpoint.request_count == 2
+        assert endpoint.failure_count == 1
+
+    def test_predict_many_accepts_any_iterable(self):
+        endpoint = self.build_endpoint()
+        result = endpoint.predict_many(iter(["srv-0"]), 6)
+        assert list(result.predictions) == ["srv-0"]
+        assert result.complete
 
     def test_health_summary(self):
         endpoint = self.build_endpoint()

@@ -32,6 +32,18 @@ class TestLookup:
         with pytest.raises(UnknownModelError):
             canonical_name("transformer-9000")
 
+    def test_unknown_model_error_message_is_clean(self):
+        with pytest.raises(UnknownModelError) as exc_info:
+            canonical_name("transformer-9000")
+        message = str(exc_info.value)
+        # LookupError, not KeyError: str(err) must not carry repr-quoting
+        # noise, and the message names the accepted aliases.
+        assert message.startswith("unknown model 'transformer-9000'")
+        assert "accepted aliases" in message
+        assert "prophet" in message and "nimbus" in message
+        assert isinstance(exc_info.value, LookupError)
+        assert not isinstance(exc_info.value, KeyError)
+
     def test_create_forecaster_types(self):
         assert isinstance(create_forecaster("prophet"), SeasonalAdditiveForecaster)
         assert isinstance(create_forecaster("ssa"), SsaForecaster)

@@ -130,20 +130,59 @@ class TestBackupScheduler:
         assert payload["outcome"] == "moved_to_predicted_window"
 
 
+def serving_with(predictions, region="region-0"):
+    """A PredictionService with one deployed version replaying ``predictions``."""
+    from repro.serving import PredictionService
+
+    serving = PredictionService()
+    serving.deploy_precomputed(region, predictions, model_name="pf", trained_week=3)
+    return serving
+
+
 class TestRunnerService:
     def test_run_day_schedules_fleet(self):
-        runner = RunnerService("region-0")
-        metadata = {"srv-0": metadata_for("srv-0")}
         predictions = {"srv-0": diurnal_series(28).day(27)}
+        runner = RunnerService("region-0", serving=serving_with(predictions))
+        metadata = {"srv-0": metadata_for("srv-0")}
         verdicts = {"srv-0": predictable_verdict("srv-0")}
-        execution = runner.run_day("cluster-1", 27, metadata, predictions, verdicts)
+        execution = runner.run_day("cluster-1", 27, metadata, verdicts)
         assert execution.succeeded
         assert "srv-0" in execution.decisions
+        assert execution.decisions["srv-0"].moved
+        # Predictions were obtained through the serving layer.
+        assert execution.serving is not None
+        assert execution.serving.n_served == 1
+        assert execution.serving.served_by_version == 1
         assert runner.availability() == 1.0
+
+    def test_repeated_run_day_served_from_prediction_cache(self):
+        predictions = {"srv-0": diurnal_series(28).day(27)}
+        runner = RunnerService("region-0", serving=serving_with(predictions))
+        metadata = {"srv-0": metadata_for("srv-0")}
+        verdicts = {"srv-0": predictable_verdict("srv-0")}
+        first = runner.run_day("cluster-1", 27, metadata, verdicts)
+        second = runner.run_day("cluster-2", 27, metadata, verdicts)
+        assert first.serving.cache_hits == 0
+        assert second.serving.cache_hits == 1
+        assert first.decisions["srv-0"].scheduled_start == second.decisions[
+            "srv-0"
+        ].scheduled_start
+
+    def test_no_active_version_keeps_default_windows(self):
+        from repro.serving import PredictionService
+
+        runner = RunnerService("region-0", serving=PredictionService())
+        metadata = {"srv-0": metadata_for("srv-0")}
+        execution = runner.run_day("cluster-1", 27, metadata, {})
+        assert execution.succeeded
+        assert execution.serving is None
+        assert execution.decisions["srv-0"].scheduled_start == metadata[
+            "srv-0"
+        ].default_backup_start
 
     def test_failed_probe_blocks_scheduling(self):
         runner = RunnerService("region-0", probes={"backup_service": lambda: False})
-        execution = runner.run_day("cluster-1", 27, {}, {}, {})
+        execution = runner.run_day("cluster-1", 27, {}, {})
         assert not execution.succeeded
         assert execution.decisions == {}
         assert runner.availability() == 0.0
@@ -153,20 +192,20 @@ class TestRunnerService:
             raise RuntimeError("probe down")
 
         runner = RunnerService("region-0", probes={"bad": broken})
-        execution = runner.run_day("cluster-1", 27, {}, {}, {})
+        execution = runner.run_day("cluster-1", 27, {}, {})
         assert not execution.succeeded
         assert execution.probes[0].detail == "probe down"
 
     def test_only_own_region_scheduled(self):
-        runner = RunnerService("region-1")
+        runner = RunnerService("region-1", serving=serving_with({}, region="region-1"))
         metadata = {"srv-0": metadata_for("srv-0")}  # region-0 server
-        execution = runner.run_day("cluster-1", 27, metadata, {}, {})
+        execution = runner.run_day("cluster-1", 27, metadata, {})
         assert execution.decisions == {}
 
     def test_add_probe_and_executions(self):
         runner = RunnerService("region-0")
         runner.add_probe("ok", lambda: True)
-        runner.run_day("c", 1, {}, {}, {})
+        runner.run_day("c", 1, {}, {})
         assert len(runner.executions()) == 1
 
 

@@ -1,0 +1,349 @@
+"""Tests for the unified prediction-serving API (repro.serving)."""
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import SeagullPipeline
+from repro.models.persistent import PreviousDayForecaster
+from repro.parallel.executor import PartitionedExecutor
+from repro.serving import (
+    NoActiveVersionError,
+    PredictionCache,
+    PredictionRequest,
+    PredictionService,
+    ServingError,
+    VersionMismatchError,
+    history_fingerprint,
+    prediction_cache_key,
+)
+from repro.telemetry.fleet import default_fleet_spec
+from repro.telemetry.generator import WorkloadGenerator
+
+from tests.helpers import diurnal_series
+
+
+def fitted_forecaster(seed=0, days=7):
+    return PreviousDayForecaster().fit(diurnal_series(days, noise=0.3, seed=seed))
+
+
+def service_with_version(region="r0", servers=("srv-0", "srv-1")):
+    service = PredictionService()
+    forecasters = {sid: fitted_forecaster(seed=i) for i, sid in enumerate(servers)}
+    service.deploy(region, "persistent_previous_day", trained_week=1, forecasters=forecasters)
+    return service
+
+
+class TestRequestValidation:
+    def test_rejects_bad_fields(self):
+        with pytest.raises(ValueError):
+            PredictionRequest(region="", server_id="s", n_points=1)
+        with pytest.raises(ValueError):
+            PredictionRequest(region="r", server_id="", n_points=1)
+        with pytest.raises(ValueError):
+            PredictionRequest(region="r", server_id="s", n_points=0)
+        with pytest.raises(ValueError):
+            PredictionRequest(region="r", server_id="s", n_points=1, version=0)
+
+
+class TestPredict:
+    def test_predict_routes_to_active_version(self):
+        service = service_with_version()
+        response = service.predict(PredictionRequest(region="r0", server_id="srv-0", n_points=12))
+        assert len(response.series) == 12
+        assert response.served_by_version == 1
+        assert response.served_by_model == "persistent_previous_day"
+        assert not response.cache_hit
+        assert response.latency_seconds >= 0.0
+
+    def test_predict_cache_hit_on_repeat(self):
+        service = service_with_version()
+        request = PredictionRequest(region="r0", server_id="srv-0", n_points=12)
+        first = service.predict(request)
+        second = service.predict(request)
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert second.series == first.series
+
+    def test_use_cache_false_bypasses(self):
+        service = service_with_version()
+        request = PredictionRequest(region="r0", server_id="srv-0", n_points=12, use_cache=False)
+        service.predict(request)
+        assert not service.predict(request).cache_hit
+
+    def test_no_active_version_raises(self):
+        with pytest.raises(NoActiveVersionError):
+            PredictionService().predict(
+                PredictionRequest(region="nowhere", server_id="s", n_points=1)
+            )
+
+    def test_unknown_server_raises_serving_error(self):
+        service = service_with_version()
+        with pytest.raises(ServingError):
+            service.predict(PredictionRequest(region="r0", server_id="ghost", n_points=1))
+
+    def test_version_pin(self):
+        service = service_with_version()
+        service.deploy("r0", "ssa", 2, {"srv-0": fitted_forecaster(seed=9)})
+        pinned = service.predict(
+            PredictionRequest(region="r0", server_id="srv-0", n_points=6, version=1)
+        )
+        assert pinned.served_by_version == 1
+        active = service.predict(PredictionRequest(region="r0", server_id="srv-0", n_points=6))
+        assert active.served_by_version == 2
+
+    def test_unknown_version_pin_raises(self):
+        service = service_with_version()
+        with pytest.raises(VersionMismatchError):
+            service.predict(
+                PredictionRequest(region="r0", server_id="srv-0", n_points=6, version=9)
+            )
+
+    def test_model_pin_accepts_aliases(self):
+        service = service_with_version()
+        response = service.predict(
+            PredictionRequest(region="r0", server_id="srv-0", n_points=6, model="pf")
+        )
+        assert response.served_by_model == "persistent_previous_day"
+        with pytest.raises(VersionMismatchError):
+            service.predict(
+                PredictionRequest(region="r0", server_id="srv-0", n_points=6, model="ssa")
+            )
+
+
+class TestPredictBatch:
+    def test_batch_serves_all_servers(self):
+        service = service_with_version()
+        batch = service.predict_batch(region="r0", n_points=12)
+        assert batch.n_served == 2
+        assert sorted(batch.predictions()) == ["srv-0", "srv-1"]
+        assert batch.skipped == ()
+        assert batch.failed == ()
+
+    def test_batch_isolates_skips_and_failures(self):
+        service = PredictionService()
+        service.deploy(
+            "r0",
+            "pf",
+            1,
+            {"good": fitted_forecaster(), "bad": PreviousDayForecaster()},  # bad: unfitted
+        )
+        batch = service.predict_batch(
+            region="r0", n_points=6, server_ids=["good", "bad", "ghost"]
+        )
+        assert list(batch.predictions()) == ["good"]
+        assert batch.skipped == ("ghost",)
+        assert batch.failed_ids == ("bad",)
+
+    def test_batch_cache_hits_counted(self):
+        service = service_with_version()
+        cold = service.predict_batch(region="r0", n_points=12)
+        warm = service.predict_batch(region="r0", n_points=12)
+        assert cold.cache_hits == 0
+        assert warm.cache_hits == 2
+        assert warm.predictions() == cold.predictions()
+
+    def test_batch_with_thread_executor(self):
+        with PartitionedExecutor("threads", 2) as executor:
+            service = PredictionService(executor=executor)
+            forecasters = {f"srv-{i}": fitted_forecaster(seed=i) for i in range(8)}
+            service.deploy("r0", "pf", 1, forecasters)
+            batch = service.predict_batch(region="r0", n_points=12, use_cache=False)
+            assert batch.n_served == 8
+            assert batch.n_partitions == 2
+
+    def test_process_executor_rejected(self):
+        with pytest.raises(ValueError):
+            PredictionService(executor=PartitionedExecutor("processes", 2))
+
+    def test_concurrent_scoring_keeps_exact_endpoint_counts(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.core.endpoints import ScoringEndpoint
+
+        forecasters = {f"srv-{i}": fitted_forecaster(seed=i) for i in range(4)}
+        endpoint = ScoringEndpoint("r0", "pf", 1, forecasters)
+        rounds = 50
+
+        def hammer(server_id):
+            for _ in range(rounds):
+                endpoint.predict_many([server_id, "ghost"], 6)
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            list(pool.map(hammer, forecasters))
+        # Counter increments are lock-protected: no lost updates under
+        # concurrent fan-out.
+        assert endpoint.request_count == 4 * rounds
+        assert endpoint.failure_count == 0
+
+    def test_batch_preserves_request_order(self):
+        service = service_with_version()
+        service.predict(PredictionRequest(region="r0", server_id="srv-1", n_points=12))
+        batch = service.predict_batch(region="r0", n_points=12, server_ids=["srv-1", "srv-0"])
+        assert [r.server_id for r in batch.responses] == ["srv-1", "srv-0"]
+
+
+class TestFallbackRouting:
+    """Registry fallback must re-route serving and show up in health()."""
+
+    def test_fallback_routes_to_previous_known_good_version(self):
+        service = PredictionService()
+        v1_forecaster = fitted_forecaster(seed=1)
+        service.deploy("r0", "pf", 1, {"srv-0": v1_forecaster})
+        v1_series = service.predict(
+            PredictionRequest(region="r0", server_id="srv-0", n_points=12)
+        ).series
+        service.deploy("r0", "pf", 2, {"srv-0": fitted_forecaster(seed=2, days=8)})
+        v2 = service.predict(PredictionRequest(region="r0", server_id="srv-0", n_points=12))
+        assert v2.served_by_version == 2
+        assert not service.health("r0")["fell_back"]
+
+        service.registry.fallback("r0")
+        restored = service.predict(
+            PredictionRequest(region="r0", server_id="srv-0", n_points=12)
+        )
+        assert restored.served_by_version == 1
+        assert restored.series == v1_series
+
+    def test_health_reports_the_flip(self):
+        service = PredictionService()
+        service.deploy("r0", "pf", 1, {"srv-0": fitted_forecaster(seed=1)})
+        service.deploy("r0", "pf", 2, {"srv-0": fitted_forecaster(seed=2)})
+        service.registry.fallback("r0")
+        health = service.health("r0")
+        assert health["fell_back"] is True
+        assert health["active_version"] == 1
+        assert health["failed_versions"] == [2]
+        overall = service.health()
+        assert overall["regions"]["r0"]["fell_back"] is True
+
+    def test_regressed_pipeline_deployment_serves_known_good_version(self):
+        """End to end: a pipeline run whose accuracy regresses falls back,
+        and the serving layer immediately routes to the prior version."""
+        spec = default_fleet_spec(servers_per_region=(10,), weeks=4, seed=5)
+        frame = WorkloadGenerator(spec).generate_region("region-0")
+        config = PipelineConfig(fallback_threshold_pct=100.1)
+        pipeline = SeagullPipeline(config)
+        first = pipeline.run(frame, region="region-0", week=2)
+        second = pipeline.run(frame, region="region-0", week=3)
+        assert second.fell_back
+        server_id = next(iter(first.predictions))
+        response = pipeline.serving.predict(
+            PredictionRequest(region="region-0", server_id=server_id, n_points=288)
+        )
+        assert response.served_by_version == first.model_record.version
+        health = pipeline.serving.health("region-0")
+        assert health["fell_back"] is True
+        assert health["active_version"] == first.model_record.version
+
+
+class TestPredictionCache:
+    def test_lru_eviction(self):
+        cache = PredictionCache(capacity=2)
+        series = diurnal_series(1)
+        k1 = prediction_cache_key("r", "a", 1, 4, "f")
+        k2 = prediction_cache_key("r", "b", 1, 4, "f")
+        k3 = prediction_cache_key("r", "c", 1, 4, "f")
+        cache.put(k1, series)
+        cache.put(k2, series)
+        assert cache.get(k1) is not None  # refresh k1; k2 becomes LRU
+        cache.put(k3, series)
+        assert cache.get(k2) is None
+        assert cache.get(k1) is not None
+        assert cache.stats.evictions == 1
+
+    def test_stats_counters(self):
+        cache = PredictionCache(capacity=4)
+        key = prediction_cache_key("r", "a", 1, 4, "f")
+        assert cache.get(key) is None
+        cache.put(key, diurnal_series(1))
+        assert cache.get(key) is not None
+        stats = cache.stats
+        assert stats.hits == 1 and stats.misses == 1 and stats.size == 1
+        assert 0.0 < stats.hit_rate < 1.0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            PredictionCache(capacity=0)
+
+    def test_fingerprint_distinguishes_histories(self):
+        a = fitted_forecaster(seed=1)
+        b = fitted_forecaster(seed=2)
+        assert history_fingerprint(a) != history_fingerprint(b)
+        assert history_fingerprint(a) == history_fingerprint(fitted_forecaster(seed=1))
+        assert history_fingerprint(PreviousDayForecaster()) == "unfitted"
+
+    def test_retraining_changes_cache_key(self):
+        """Same region/server/horizon but new history must miss the cache."""
+        service = PredictionService()
+        service.deploy("r0", "pf", 1, {"srv-0": fitted_forecaster(seed=1)})
+        first = service.predict(PredictionRequest(region="r0", server_id="srv-0", n_points=6))
+        service.deploy("r0", "pf", 2, {"srv-0": fitted_forecaster(seed=3, days=9)})
+        second = service.predict(PredictionRequest(region="r0", server_id="srv-0", n_points=6))
+        assert not second.cache_hit
+        assert second.served_by_version == 2
+        assert first.series != second.series
+
+
+class TestDeployPrecomputed:
+    def test_precomputed_round_trip(self):
+        prediction = diurnal_series(1)
+        service = PredictionService()
+        record = service.deploy_precomputed("r0", {"srv-0": prediction}, model_name="pf")
+        assert record.version == 1
+        response = service.predict(
+            PredictionRequest(region="r0", server_id="srv-0", n_points=len(prediction))
+        )
+        assert response.series == prediction
+
+    def test_servers_listing(self):
+        service = service_with_version()
+        assert service.servers("r0") == ["srv-0", "srv-1"]
+        assert service.regions() == ["r0"]
+
+
+class TestHealthPublishing:
+    def test_publish_health_records_dashboard_events(self):
+        from repro.core.dashboard import Dashboard
+
+        dashboard = Dashboard()
+        service = PredictionService(dashboard=dashboard)
+        service.deploy("r0", "pf", 1, {"srv-0": fitted_forecaster()})
+        service.publish_health(run_id="probe")
+        events = dashboard.events(kind="serving_health")
+        assert len(events) == 1
+        assert events[0].payload["active_version"] == 1
+
+    def test_pipeline_rejects_serving_that_cannot_persist_records(self):
+        """A pipeline given a document store must not silently adopt an
+        injected service whose registry skips persistence."""
+        from repro.core.registry import ModelRegistry
+        from repro.storage.documentdb import DocumentStore
+
+        store = DocumentStore()
+        with pytest.raises(ValueError):
+            SeagullPipeline(
+                PipelineConfig(), document_store=store, serving=PredictionService()
+            )
+        # A store-backed registry behind the service is accepted and used.
+        registry = ModelRegistry(store, container="models")
+        pipeline = SeagullPipeline(
+            PipelineConfig(),
+            document_store=store,
+            serving=PredictionService(registry=registry),
+        )
+        assert pipeline.registry is registry
+        spec = default_fleet_spec(servers_per_region=(6,), weeks=4, seed=3)
+        frame = WorkloadGenerator(spec).generate_region("region-0")
+        result = pipeline.run(frame, region="region-0", week=3)
+        assert result.succeeded
+        assert store.count("models") >= 1
+
+    def test_pipeline_run_emits_serving_health(self):
+        spec = default_fleet_spec(servers_per_region=(8,), weeks=4, seed=7)
+        frame = WorkloadGenerator(spec).generate_region("region-0")
+        pipeline = SeagullPipeline(PipelineConfig())
+        result = pipeline.run(frame, region="region-0", week=3)
+        assert result.succeeded
+        events = pipeline.dashboard.events(region="region-0", kind="serving_health")
+        assert events
+        assert events[-1].payload["active_version"] == result.model_record.version
