@@ -22,7 +22,7 @@ test:
 
 ## Quick benchmark smoke: the jobs CI runs on every PR.
 bench-smoke:
-	python -m pytest benchmarks -q -k "classification or fig12a or columnar or serving"
+	python -m pytest benchmarks -q -k "classification or fig12a or columnar or serving or query"
 
 ## Fleet orchestrator demo: cold + warm-cache run over a synthetic fleet.
 fleet-demo:

@@ -36,7 +36,7 @@ timeout_flag=""
 if python -c "import pytest_timeout" >/dev/null 2>&1; then
     timeout_flag="--timeout=300"
 fi
-python -m pytest benchmarks -q -k "classification or fig12a or columnar or serving" ${timeout_flag}
+python -m pytest benchmarks -q -k "classification or fig12a or columnar or serving or query" ${timeout_flag}
 
 echo
 echo "All CI-equivalent checks passed."

@@ -55,6 +55,7 @@ from repro.serving.api import BatchPredictionResponse
 from repro.serving.service import PredictionService
 from repro.storage.artifacts import ArtifactStore, artifact_key
 from repro.storage.datalake import DataLakeStore, ExtractKey
+from repro.storage.query import ExtractQuery
 from repro.storage.documentdb import DocumentStore
 from repro.timeseries.calendar import MINUTES_PER_DAY, day_index, points_per_day
 from repro.timeseries.frame import LoadFrame
@@ -268,17 +269,25 @@ class SeagullPipeline:
     # ------------------------------------------------------------------ #
 
     def run_from_lake(self, region: str, week: int) -> PipelineRunResult:
-        """Ingest the region/week extract from the data lake and run."""
+        """Ingest the region/week extract from the data lake and run.
+
+        Ingestion goes through the lake's declarative query surface: one
+        :class:`~repro.storage.query.ExtractQuery` pinned to the
+        ``(region, week)`` partition.  A query matching no stored extract
+        (``stats.extracts_scanned == 0``) aborts the run with the
+        missing-input incident, exactly as the old keyed read did.
+        """
         run_id = self._next_run_id(region, week)
         result = PipelineRunResult(run_id=run_id, region=region, week=week, config=self._config)
         if self._lake is None:
             raise DeploymentError("pipeline was constructed without a data lake")
         started = time.perf_counter()
-        try:
-            frame = self._lake.read_extract(
-                ExtractKey(region=region, week=week), self._config.interval_minutes
-            )
-        except KeyError:
+        query = ExtractQuery.for_key(
+            ExtractKey(region=region, week=week),
+            interval_minutes=self._config.interval_minutes,
+        )
+        answer = self._lake.query(query)
+        if answer.stats.extracts_scanned == 0:
             self._incidents.raise_incident(
                 IncidentSeverity.CRITICAL,
                 source="data_ingestion",
@@ -290,7 +299,7 @@ class SeagullPipeline:
             self._emit_summary(result)
             return result
         result.timings["data_ingestion"] = time.perf_counter() - started
-        return self._run_internal(frame, result)
+        return self._run_internal(answer.frame, result)
 
     def run(self, frame: LoadFrame, region: str, week: int) -> PipelineRunResult:
         """Run the pipeline on an already-ingested frame."""

@@ -19,12 +19,23 @@ Two cache layers make re-runs cheap:
 Both layers live in per-unit files under ``cache_dir``, so process-pool
 workers never contend on a shared cache file and warm re-runs work across
 operating-system processes.
+
+The unit of worker handoff is ``(lake handle, ExtractQuery)``: every task
+carries the lake's root path plus a typed query pinned to its ``(region,
+week)`` partition, and the worker re-opens the lake and reads only its
+shard.  Whole extract payloads never cross the process boundary -- an
+in-memory lake is spilled once to a coordinator-owned on-disk lake (same
+bytes, so unit fingerprints are unchanged) and workers read from that,
+which keeps coordinator RSS flat however large the fleet is.
 """
 
 from __future__ import annotations
 
+import hashlib
+import shutil
+import tempfile
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
@@ -39,11 +50,9 @@ from repro.parallel.executor import (
     PartitionedExecutor,
     recommended_fleet_workers,
 )
-from repro.storage.artifacts import ArtifactStore, artifact_key, content_digest
-from repro.storage.columnar import ColumnarFormatError, frame_from_sgx_bytes
-from repro.storage.csv_io import frame_from_csv_text
+from repro.storage.artifacts import ArtifactStore, artifact_key
 from repro.storage.datalake import DataLakeStore, ExtractKey, ExtractNotFoundError
-from repro.timeseries.frame import LoadFrame
+from repro.storage.query import ExtractQuery
 
 
 #: Config fields that change *how* a unit is computed, not *what* it
@@ -69,37 +78,21 @@ def unit_cache_path(cache_dir: str | Path, region: str, week: int) -> Path:
 class _UnitTask:
     """Everything a (possibly out-of-process) worker needs for one unit.
 
-    In-memory lakes ship the extract's raw stored bytes (CSV text or
-    ``.sgx`` columnar) plus their format -- and, when a CSV copy co-exists
-    with a preferred ``.sgx`` one, the CSV bytes too, so workers keep the
-    lake's damaged-``.sgx``-degrades-to-CSV behaviour.  Disk lakes ship
-    only the root and let the worker's own :class:`DataLakeStore`
-    negotiate the format.
+    Deliberately tiny and payload-free: a lake *handle* (the root path --
+    for in-memory lakes, the coordinator's spill directory) plus the
+    typed :class:`~repro.storage.query.ExtractQuery` describing the
+    unit's shard.  The worker re-opens the lake and runs the query
+    itself; format negotiation (``.sgx`` preferred, damaged ``.sgx``
+    degrades to a co-located CSV) happens inside the worker's own
+    :class:`DataLakeStore`.
     """
 
     region: str
     week: int
     config: PipelineConfig
-    lake_root: str | None = None
-    payload: bytes | None = None
-    payload_format: str = "csv"
-    fallback_csv: bytes | None = None
+    lake_root: str
+    query: ExtractQuery
     cache_dir: str | None = None
-    interval_minutes: int = 5
-
-
-def _parse_payload(task: _UnitTask) -> LoadFrame:
-    assert task.payload is not None
-    if task.payload_format == "sgx":
-        try:
-            return frame_from_sgx_bytes(task.payload, task.interval_minutes)
-        except ColumnarFormatError:
-            if task.fallback_csv is None:
-                raise
-            return frame_from_csv_text(
-                task.fallback_csv.decode("utf-8"), task.interval_minutes
-            )
-    return frame_from_csv_text(task.payload.decode("utf-8"), task.interval_minutes)
 
 
 def _failed_outcome(task: _UnitTask, reason: str, wall: float) -> FleetUnitOutcome:
@@ -136,19 +129,14 @@ def _execute_unit(task: _UnitTask) -> FleetUnitOutcome:
     """
     started = time.perf_counter()
     key = ExtractKey(region=task.region, week=task.week)
-    lake = DataLakeStore(task.lake_root) if task.lake_root is not None else None
+    lake = DataLakeStore(task.lake_root)
 
     # Fingerprint the raw extract bytes (no parsing yet).  The digest
     # covers the stored representation, so converting a lake to .sgx
     # refreshes unit fingerprints while stage-cache keys (frame content
     # hashes) stay valid.
     try:
-        if lake is not None:
-            fingerprint = lake.extract_fingerprint(key)
-        elif task.payload is not None:
-            fingerprint = content_digest(task.payload)
-        else:
-            raise ExtractNotFoundError(f"no extract for {key}")
+        fingerprint = lake.extract_fingerprint(key)
     except ExtractNotFoundError:
         return _failed_outcome(
             task,
@@ -170,15 +158,14 @@ def _execute_unit(task: _UnitTask) -> FleetUnitOutcome:
             if outcome is not None:
                 return outcome.as_cache_hit(time.perf_counter() - started)
 
-    # Ingest (unit-cache miss or caching disabled).
+    # Ingest (unit-cache miss or caching disabled): the worker answers its
+    # own shard's query against its own lake handle.
     ingest_started = time.perf_counter()
     try:
-        if lake is not None:
-            frame = lake.read_extract(key, task.interval_minutes)
-        else:
-            frame = _parse_payload(task)
+        answer = lake.query(task.query)
     except (ExtractNotFoundError, ValueError) as exc:
         return _failed_outcome(task, f"unreadable extract for {key}: {exc}", time.perf_counter() - started)
+    frame = answer.frame
     ingest_seconds = time.perf_counter() - ingest_started
 
     incidents = IncidentManager()
@@ -213,6 +200,7 @@ def _execute_unit(task: _UnitTask) -> FleetUnitOutcome:
         cache_events=dict(result.cache_events),
         wall_seconds=time.perf_counter() - started,
         serving=serving,
+        scan=answer.stats.as_dict(),
     )
     if cache is not None and result.succeeded:
         cache.put(unit_key, outcome.to_payload())
@@ -226,10 +214,11 @@ class FleetOrchestrator:
     ----------
     lake:
         Extract store holding the fleet's weekly extracts.  Disk-backed
-        lakes work with every backend; in-memory lakes ship each extract's
-        raw stored bytes -- CSV or columnar ``.sgx``, plus CSV fallback
-        bytes when both exist -- to the workers (fine for tests, wasteful
-        at scale).
+        lakes are handed to workers by root path; in-memory lakes are
+        spilled (byte-identical, both stored formats) to a
+        coordinator-owned temporary on-disk lake that workers re-open --
+        whole extract payloads never ride along inside tasks, with any
+        backend.
     config:
         Pipeline configuration applied to every unit.
     backend / n_workers / executor:
@@ -269,6 +258,11 @@ class FleetOrchestrator:
         self._cache_dir = str(cache_dir) if cache_dir is not None else None
         if self._cache_dir is not None:
             Path(self._cache_dir).mkdir(parents=True, exist_ok=True)
+        self._spill_dir: str | None = None
+        #: What each spilled key's stored copies looked like when spilled:
+        #: key -> tuple of (format, sha256 of bytes).  Re-runs skip the
+        #: disk rewrite for keys whose stored bytes are unchanged.
+        self._spill_signatures: dict[ExtractKey, tuple[tuple[str, str], ...]] = {}
 
     def _make_executor(self, n_units: int | None) -> PartitionedExecutor:
         n_workers = self._n_workers
@@ -298,9 +292,13 @@ class FleetOrchestrator:
     # ------------------------------------------------------------------ #
 
     def close(self) -> None:
-        """Release the worker pool if this orchestrator created it."""
+        """Release the worker pool (if owned) and any spill directory."""
         if self._owns_executor and self._executor is not None:
             self._executor.close()
+        if self._spill_dir is not None:
+            shutil.rmtree(self._spill_dir, ignore_errors=True)
+            self._spill_dir = None
+            self._spill_signatures.clear()
 
     def __enter__(self) -> "FleetOrchestrator":
         return self
@@ -310,43 +308,64 @@ class FleetOrchestrator:
 
     # ------------------------------------------------------------------ #
 
-    def _task_for(self, key: ExtractKey) -> _UnitTask:
-        root = self._lake.root
-        payload: bytes | None = None
-        payload_format = "csv"
-        fallback_csv: bytes | None = None
-        if root is None:
-            try:
-                payload_format, payload = self._lake.read_extract_bytes(
-                    key, principal=self._principal
+    def _spill_to_disk(self, units: list[ExtractKey]) -> str:
+        """Materialise an in-memory lake's extracts as an on-disk lake.
+
+        Byte-identical copies of every stored format are written (so unit
+        fingerprints -- sha256 of stored bytes -- and the lake's
+        damaged-``.sgx``-degrades-to-CSV behaviour are preserved), and
+        stale spill copies of removed extracts are dropped.  Workers then
+        re-open the spill directory like any disk lake: the coordinator
+        never ships payload bytes through the executor, which is what
+        keeps its RSS flat for very large fleets.
+
+        Re-runs stay cheap: a key whose stored bytes are unchanged since
+        it was last spilled (hashing the in-memory bytes is CPU-only) is
+        not rewritten to disk, so a fully warm run spills nothing.
+        """
+        if self._spill_dir is None:
+            self._spill_dir = tempfile.mkdtemp(prefix="seagull-spill-")
+        spill = DataLakeStore(self._spill_dir)
+        for key in units:
+            formats = self._lake.extract_formats(key, principal=self._principal)
+            payloads: list[tuple[str, bytes]] = [
+                (
+                    fmt,
+                    self._lake.read_extract_bytes(key, principal=self._principal, fmt=fmt)[1],
                 )
-                if payload_format == "sgx" and "csv" in self._lake.extract_formats(
-                    key, principal=self._principal
-                ):
-                    _, fallback_csv = self._lake.read_extract_bytes(
-                        key, principal=self._principal, fmt="csv"
-                    )
-            except ExtractNotFoundError:
-                payload = None
+                for fmt in formats
+            ]
+            signature = tuple(
+                (fmt, hashlib.sha256(payload).hexdigest()) for fmt, payload in payloads
+            )
+            if self._spill_signatures.get(key) == signature:
+                continue  # byte-identical since last spill: no disk rewrite
+            spill.delete_extract(key)  # drop stale copies from earlier runs
+            for fmt, payload in payloads:
+                spill.write_extract_bytes(key, fmt, payload, keep_other_formats=True)
+            self._spill_signatures[key] = signature
+        return self._spill_dir
+
+    def _task_for(self, key: ExtractKey, lake_root: str) -> _UnitTask:
         return _UnitTask(
             region=key.region,
             week=key.week,
             config=self._config,
-            lake_root=str(root) if root is not None else None,
-            payload=payload,
-            payload_format=payload_format,
-            fallback_csv=fallback_csv,
+            lake_root=lake_root,
+            query=ExtractQuery.for_key(
+                key, interval_minutes=self._config.interval_minutes
+            ),
             cache_dir=self._cache_dir,
-            interval_minutes=self._config.interval_minutes,
         )
 
     def run(self, units: list[ExtractKey] | None = None) -> FleetReport:
         """Process ``units`` (default: every extract in the lake).
 
-        Units are sharded across the executor; the consolidated report
-        covers successes, failures (missing/invalid extracts become failed
-        outcomes plus incident entries, they never abort the fleet run)
-        and cache activity.
+        Units are sharded across the executor as ``(lake handle,
+        ExtractQuery)`` tasks; the consolidated report covers successes,
+        failures (missing/invalid extracts become failed outcomes plus
+        incident entries, they never abort the fleet run), cache activity
+        and scan/pushdown statistics.
         """
         started = time.perf_counter()
         # Enforced here for explicit unit lists too: disk workers reopen
@@ -354,7 +373,10 @@ class FleetOrchestrator:
         self._lake.check_access(self._principal)
         if units is None:
             units = self._lake.list_extracts(principal=self._principal)
-        tasks = [self._task_for(key) for key in sorted(units)]
+        units = sorted(units)
+        root = self._lake.root
+        lake_root = str(root) if root is not None else self._spill_to_disk(units)
+        tasks = [self._task_for(key, lake_root) for key in units]
         if self._executor is None:
             # Deferred so the owned pool can be sized by the fleet
             # heuristic for the actual unit count; later runs reuse it.

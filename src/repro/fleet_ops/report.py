@@ -38,6 +38,10 @@ class FleetUnitOutcome:
     #: Serving-health summary of the unit's prediction service (empty when
     #: nothing was deployed, e.g. on validation aborts).
     serving: dict[str, Any] = field(default_factory=dict)
+    #: Scan statistics of the unit's ingestion query (chunks pruned,
+    #: servers skipped, bytes CRC-verified vs stored); empty when the unit
+    #: never ran a query (failed before ingestion).
+    scan: dict[str, Any] = field(default_factory=dict)
 
     def as_cache_hit(self, wall_seconds: float) -> "FleetUnitOutcome":
         """This outcome as served from the unit cache on a later run.
@@ -61,6 +65,7 @@ class FleetUnitOutcome:
             wall_seconds=wall_seconds,
             from_unit_cache=True,
             serving=dict(self.serving),
+            scan=dict(self.scan),
         )
 
     def to_payload(self) -> dict[str, Any]:
@@ -79,6 +84,7 @@ class FleetUnitOutcome:
             "cache_events": dict(self.cache_events),
             "wall_seconds": self.wall_seconds,
             "serving": dict(self.serving),
+            "scan": dict(self.scan),
         }
 
     @classmethod
@@ -99,6 +105,7 @@ class FleetUnitOutcome:
             cache_events={k: str(v) for k, v in payload["cache_events"].items()},
             wall_seconds=float(payload["wall_seconds"]),
             serving=dict(payload.get("serving") or {}),
+            scan=dict(payload.get("scan") or {}),
         )
 
 
@@ -247,6 +254,35 @@ class FleetReport:
             rollup["failures"] += int(stats.get("failures", 0))
         return rollup
 
+    def scan_rollup(self) -> dict[str, Any]:
+        """Extract-scan activity across units (the dual of
+        :meth:`serving_rollup` for the read path).
+
+        Aggregates each unit's ingestion-query :class:`~repro.storage.
+        query.ScanStats`: extracts scanned, chunk/zone-map pruning,
+        server and column skips, and payload bytes CRC-verified vs
+        stored -- the fleet-level view of what pushdown saved.
+        """
+        rollup: dict[str, Any] = {
+            "extracts_scanned": 0,
+            "chunks_seen": 0,
+            "chunks_pruned": 0,
+            "servers_seen": 0,
+            "servers_skipped": 0,
+            "columns_skipped": 0,
+            "payload_bytes_stored": 0,
+            "payload_bytes_verified": 0,
+            "rows": 0,
+        }
+        for outcome in self.outcomes:
+            for counter in rollup:
+                rollup[counter] += int(outcome.scan.get(counter, 0))
+        stored = rollup["payload_bytes_stored"]
+        rollup["verified_fraction"] = (
+            rollup["payload_bytes_verified"] / stored if stored else 1.0
+        )
+        return rollup
+
     # ------------------------------------------------------------------ #
     # Serialization and rendering
     # ------------------------------------------------------------------ #
@@ -265,6 +301,7 @@ class FleetReport:
             "incidents": self.incident_rollup(),
             "cache": self.cache_summary(),
             "serving": self.serving_rollup(),
+            "scan": self.scan_rollup(),
             "outcomes": [outcome.to_payload() for outcome in self.outcomes],
         }
 
@@ -308,5 +345,14 @@ class FleetReport:
             f"Serving: {serving['served']}/{serving['requests']} predictions served "
             f"({serving['cache_hits']} cache hits, {serving['failures']} failures, "
             f"{serving['units_fell_back']} units on fallback versions)"
+        )
+        scan = self.scan_rollup()
+        lines.append(
+            f"Scan: {scan['extracts_scanned']} extracts, {scan['rows']} rows, "
+            f"{scan['chunks_pruned']}/{scan['chunks_seen']} chunks pruned, "
+            f"{scan['servers_skipped']} servers skipped, "
+            f"{scan['payload_bytes_verified']}/{scan['payload_bytes_stored']} "
+            f"payload bytes CRC-verified "
+            f"({100.0 * scan['verified_fraction']:.0f}%)"
         )
         return "\n".join(lines)

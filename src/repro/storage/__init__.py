@@ -12,6 +12,12 @@
 * :mod:`~repro.storage.columnar` -- the binary columnar ``.sgx`` extract
   format: dictionary-encoded metadata, per-server column chunks with
   zone maps and checksums, zero-copy ``numpy.frombuffer`` ingestion.
+* :mod:`~repro.storage.query` -- the typed extract-query surface:
+  :class:`~repro.storage.query.ExtractQuery` (frozen, hashable,
+  cache-keyable), :class:`~repro.storage.query.QueryResult` and
+  :class:`~repro.storage.query.ScanStats`.  ``DataLakeStore.query`` /
+  ``.scan`` are the one read path; server filters and column projections
+  are pushed down into the ``.sgx`` reader.
 * :mod:`~repro.storage.migrate` -- in-place lake conversion between the
   CSV and ``.sgx`` extract formats (the ``convert`` CLI's engine).
 * :class:`~repro.storage.artifacts.ArtifactStore` -- a content-addressed
@@ -21,12 +27,14 @@
 
 from repro.storage.artifacts import ArtifactCacheStats, ArtifactStore, artifact_key
 from repro.storage.columnar import (
+    COLUMNS,
     DEFAULT_CHUNK_MINUTES,
     ColumnarFormatError,
     SgxReadStats,
     frame_from_sgx_bytes,
     frame_to_sgx_bytes,
     read_frame_sgx,
+    scan_sgx_bytes,
     sgx_version,
     write_frame_sgx,
 )
@@ -34,6 +42,8 @@ from repro.storage.csv_io import read_frame_csv, write_frame_csv
 from repro.storage.datalake import EXTRACT_FORMATS, DataLakeStore, ExtractKey
 from repro.storage.documentdb import Document, DocumentStore
 from repro.storage.migrate import LakeConversionReport, convert_lake
+from repro.storage.query import ExtractQuery, QueryError, QueryResult, ScanStats
+from repro.timeseries.calendar import MAX_MINUTE, MIN_MINUTE
 
 __all__ = [
     "read_frame_csv",
@@ -42,13 +52,21 @@ __all__ = [
     "write_frame_sgx",
     "frame_from_sgx_bytes",
     "frame_to_sgx_bytes",
+    "scan_sgx_bytes",
     "sgx_version",
     "ColumnarFormatError",
     "SgxReadStats",
+    "COLUMNS",
     "DEFAULT_CHUNK_MINUTES",
     "EXTRACT_FORMATS",
+    "MIN_MINUTE",
+    "MAX_MINUTE",
     "DataLakeStore",
     "ExtractKey",
+    "ExtractQuery",
+    "QueryError",
+    "QueryResult",
+    "ScanStats",
     "DocumentStore",
     "Document",
     "ArtifactStore",

@@ -6,7 +6,7 @@ the way the pipeline consumes it -- per-server columns of raw
 little-endian ``int64`` timestamps and ``float64`` CPU values -- so a read
 is a :func:`numpy.frombuffer` over the file bytes instead of a row loop.
 
-Format v2 layout (all integers little-endian)::
+Format v3 layout (all integers little-endian)::
 
     header   magic "SGXF" | version u16 | flags u16 | interval u32
              | n_servers u32 | n_dict u32 | file_length u64
@@ -19,20 +19,32 @@ Format v2 layout (all integers little-endian)::
                backup_start i64 | backup_end i64 | backup_duration u32
                n_chunks u32
                n_chunks x (n_points u64 | min_ts i64 | max_ts i64
-                           | payload_crc u32)
+                           | ts_crc u32 | vs_crc u32)
                n_chunks payloads, each:
                  timestamps  n_points x i64
                  values      n_points x f64
 
 The writer splits each server's series at absolute ``chunk_minutes``
 boundaries (default: one chunk per day), so every chunk carries its own
-**zone map** (``min_ts``/``max_ts``) and payload CRC.  A time-range read
-(:func:`frame_from_sgx_bytes` with ``start_minute``/``end_minute``) skips
-non-overlapping chunks without touching -- or checksum-verifying -- their
-payload bytes, then merges a server's surviving chunks back into one
-series: pruning works *within* a server, so a 1-day read of a 7-day
-extract verifies ~1/7 of the payload.  Format v1 (one chunk per server,
-chunk header and payload inline) remains fully readable.
+**zone map** (``min_ts``/``max_ts``) and one CRC *per column buffer*.  A
+time-range read (:func:`frame_from_sgx_bytes` with ``start_minute``/
+``end_minute``) skips non-overlapping chunks without touching -- or
+checksum-verifying -- their payload bytes, then merges a server's
+surviving chunks back into one series: pruning works *within* a server,
+so a 1-day read of a 7-day extract verifies ~1/7 of the payload.  Two
+further pushdowns ride the same structure (:func:`scan_sgx_bytes`):
+
+* **server filtering** -- an allow-list or metadata predicate is decided
+  from the (structure-verified) record header alone, so a filtered-out
+  server's chunks are never read, decoded or checksummed;
+* **column projection** -- per-column CRCs (the v3 change) let a
+  timestamps-only read skip decoding *and* checksumming every values
+  buffer; unprojected values surface as NaN ("not loaded", never 0.0).
+
+Format v2 (one joint payload CRC per chunk) and v1 (one chunk per
+server, header and payload inline) remain fully readable; on those,
+column projection still skips the decode but must checksum the whole
+payload -- the joint CRC cannot vouch for one column alone.
 
 Zone maps are only trustworthy for sorted data: the writer refuses
 non-strictly-increasing timestamps (they would round-trip with a wrong
@@ -40,8 +52,8 @@ zone map and be silently mis-pruned), and three checksums cover
 everything that *is* ingested: ``header_crc`` over the fixed header,
 ``structure_crc`` over the dictionary and every server/chunk header (so
 tampered zone maps, metadata fields or dictionary strings cannot be
-silently loaded -- pruning decisions are only trusted once the structure
-verifies), and a per-chunk ``payload_crc`` over the column buffers
+silently loaded -- pruning and filtering decisions are only trusted once
+the structure verifies), and the per-chunk column CRCs over the buffers
 actually read.  Any damage (bad magic, truncation, checksum mismatch,
 out-of-range dictionary index, out-of-order chunks) raises the typed
 :class:`ColumnarFormatError` so callers can degrade to a CSV fallback.
@@ -51,20 +63,26 @@ from __future__ import annotations
 
 import struct
 import zlib
+from collections.abc import Callable, Collection, Iterable, Iterator
 from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
-from repro.timeseries.calendar import MINUTES_PER_DAY
+from repro.timeseries.calendar import MAX_MINUTE, MIN_MINUTE, MINUTES_PER_DAY
 from repro.timeseries.frame import LoadFrame, ServerMetadata
 from repro.timeseries.series import LoadSeries
 
 MAGIC = b"SGXF"
 #: Version the writer emits.
-VERSION = 2
+VERSION = 3
 #: Versions the reader accepts.
-SUPPORTED_VERSIONS = (1, 2)
+SUPPORTED_VERSIONS = (1, 2, 3)
+
+#: Per-point column buffers of the format, in stored order.  A column
+#: projection is a subset of these; ``timestamps`` is the series index
+#: and can never be projected away.
+COLUMNS = ("timestamps", "values")
 
 #: Default writer chunking policy: one chunk per day, so zone maps prune
 #: day-granular time-range reads within a server.  Pass ``0`` for a
@@ -82,11 +100,15 @@ _HEADER = struct.Struct("<4sHHIIIQI")
 _HEADER_CRC = struct.Struct("<I")
 HEADER_BYTES = _HEADER.size + _HEADER_CRC.size  # 36
 
-#: v2 per-server fixed fields: region_idx | engine_idx | true_class_idx
+#: v2/v3 per-server fixed fields: region_idx | engine_idx | true_class_idx
 #: | backup_start | backup_end | backup_duration | n_chunks
 _SERVER_FIXED = struct.Struct("<IIIqqII")
 #: v2 per-chunk header: n_points | min_ts | max_ts | payload_crc
 _CHUNK_HEADER = struct.Struct("<QqqI")
+#: v3 per-chunk header: n_points | min_ts | max_ts | ts_crc | vs_crc --
+#: one CRC per column buffer, so a projected read can verify only the
+#: buffers it actually ingests.
+_CHUNK_HEADER_V3 = struct.Struct("<QqqII")
 #: v1 per-server chunk: region_idx | engine_idx | true_class_idx
 #: | backup_start | backup_end | backup_duration | n_points | min_ts
 #: | max_ts | payload_crc
@@ -116,12 +138,18 @@ class SgxReadStats:
     """Observability counters filled in by one ``.sgx`` read.
 
     ``payload_bytes_verified`` is the number of payload bytes actually
-    CRC-checked and ingested; a zone-map-pruned partial read verifies
-    strictly fewer bytes than a full read of the same file.
+    CRC-checked and ingested; a zone-map-pruned, server-filtered or
+    column-projected read verifies strictly fewer bytes than a full read
+    of the same file.  A filtered-out server's chunks count as both seen
+    and pruned; ``columns_skipped`` counts column buffers whose decode
+    (and, from format v3, whose checksum) a projection skipped.
     """
 
     chunks_seen: int = 0
     chunks_pruned: int = 0
+    servers_seen: int = 0
+    servers_skipped: int = 0
+    columns_skipped: int = 0
     payload_bytes_total: int = 0
     payload_bytes_verified: int = 0
 
@@ -166,7 +194,7 @@ def _split_at_boundaries(
 
 
 def frame_to_sgx_bytes(frame: LoadFrame, chunk_minutes: int = DEFAULT_CHUNK_MINUTES) -> bytes:
-    """Serialise ``frame`` into ``.sgx`` (format v2) bytes.
+    """Serialise ``frame`` into ``.sgx`` (format v3) bytes.
 
     ``chunk_minutes`` is the chunking policy: each server's series is
     split at absolute multiples of it (default: day boundaries) into
@@ -202,13 +230,16 @@ def frame_to_sgx_bytes(frame: LoadFrame, chunk_minutes: int = DEFAULT_CHUNK_MINU
         payloads: list[bytes] = []
         for chunk_ts, chunk_vs in pieces:
             n_points = int(chunk_ts.shape[0])
-            payload = chunk_ts.tobytes() + chunk_vs.tobytes()
+            ts_bytes = chunk_ts.tobytes()
+            vs_bytes = chunk_vs.tobytes()
             if n_points:
                 min_ts, max_ts = int(chunk_ts[0]), int(chunk_ts[-1])
             else:
                 min_ts, max_ts = _EMPTY_MIN_TS, _EMPTY_MAX_TS
-            chunk_table += _CHUNK_HEADER.pack(n_points, min_ts, max_ts, zlib.crc32(payload))
-            payloads.append(payload)
+            chunk_table += _CHUNK_HEADER_V3.pack(
+                n_points, min_ts, max_ts, zlib.crc32(ts_bytes), zlib.crc32(vs_bytes)
+            )
+            payloads.append(ts_bytes + vs_bytes)
         record_header = (
             _packed_string(server_id, "server id")
             + _SERVER_FIXED.pack(
@@ -345,13 +376,15 @@ def _parse_structure(view: memoryview):
     ``records`` is a generator of ``(server_id, meta_fields, chunks)``
     per server, where ``meta_fields`` is ``(region_idx, engine_idx,
     true_class_idx, backup_start, backup_end, backup_duration)`` and
-    ``chunks`` is a list of ``(n_points, min_ts, max_ts, payload_crc,
-    payload_offset)`` entries.  It bounds-checks every record, and on
-    exhaustion verifies that the records exactly fill the file and that
-    the accumulated structure CRC matches the header -- the single walk
-    both the reader and the inspector use, so the two can never diverge
-    on the layout.  Format v1 records (one inline chunk per server)
-    surface through the same shape.
+    ``chunks`` is a list of ``(n_points, min_ts, max_ts, ts_crc, vs_crc,
+    payload_offset)`` entries -- for v1/v2 chunks ``ts_crc`` holds the
+    single joint payload CRC and ``vs_crc`` is ``None``.  It
+    bounds-checks every record, and on exhaustion verifies that the
+    records exactly fill the file and that the accumulated structure CRC
+    matches the header -- the single walk both the reader and the
+    inspector use, so the two can never diverge on the layout.  Format
+    v1 records (one inline chunk per server) surface through the same
+    shape.
     """
     version, interval, n_servers, n_dict, structure_crc = _parse_header(view)
     total = view.nbytes
@@ -378,7 +411,7 @@ def _parse_structure(view: memoryview):
                 payload_offset = position + _CHUNK_FIXED_V1.size
                 seen_crc = zlib.crc32(view[record_start:payload_offset], seen_crc)
                 n_points = fields[6]
-                chunks = [(n_points, fields[7], fields[8], fields[9], payload_offset)]
+                chunks = [(n_points, fields[7], fields[8], fields[9], None, payload_offset)]
                 position = payload_offset + n_points * _POINT_BYTES
                 if position > total:
                     raise ColumnarFormatError(
@@ -393,8 +426,9 @@ def _parse_structure(view: memoryview):
                     )
                 fields = _SERVER_FIXED.unpack_from(view, position)
                 n_chunks = fields[6]
+                chunk_struct = _CHUNK_HEADER_V3 if version >= 3 else _CHUNK_HEADER
                 table_offset = position + _SERVER_FIXED.size
-                table_end = table_offset + n_chunks * _CHUNK_HEADER.size
+                table_end = table_offset + n_chunks * chunk_struct.size
                 if table_end > total:
                     raise ColumnarFormatError(
                         f"truncated .sgx extract: chunk table of {server_id!r} "
@@ -404,10 +438,15 @@ def _parse_structure(view: memoryview):
                 chunks = []
                 payload_offset = table_end
                 for index in range(n_chunks):
-                    n_points, min_ts, max_ts, payload_crc = _CHUNK_HEADER.unpack_from(
-                        view, table_offset + index * _CHUNK_HEADER.size
+                    entry = chunk_struct.unpack_from(
+                        view, table_offset + index * chunk_struct.size
                     )
-                    chunks.append((n_points, min_ts, max_ts, payload_crc, payload_offset))
+                    if version >= 3:
+                        n_points, min_ts, max_ts, ts_crc, vs_crc = entry
+                    else:
+                        n_points, min_ts, max_ts, ts_crc = entry
+                        vs_crc = None
+                    chunks.append((n_points, min_ts, max_ts, ts_crc, vs_crc, payload_offset))
                     payload_offset += n_points * _POINT_BYTES
                 position = payload_offset
                 if position > total:
@@ -429,43 +468,93 @@ def _parse_structure(view: memoryview):
     return version, interval, dictionary, records()
 
 
-def frame_from_sgx_bytes(
+def normalize_columns(columns: Iterable[str] | str | None) -> bool:
+    """Validate a column projection; returns whether ``values`` is wanted.
+
+    ``None`` means "every column".  ``timestamps`` is the series index
+    (it defines alignment, slicing and the zone maps), so a projection
+    that drops it is rejected.
+    """
+    if columns is None:
+        return True
+    cols = (columns,) if isinstance(columns, str) else tuple(columns)
+    unknown = [column for column in cols if column not in COLUMNS]
+    if unknown:
+        raise ValueError(f"unknown column(s) {unknown!r}; expected a subset of {COLUMNS}")
+    if "timestamps" not in cols:
+        raise ValueError(
+            "column projection must include 'timestamps' -- it is the series index"
+        )
+    return "values" in cols
+
+
+def scan_sgx_bytes(
     data,
     interval_minutes: int | None = None,
     start_minute: int | None = None,
     end_minute: int | None = None,
+    *,
+    servers: Collection[str] | None = None,
+    predicate: Callable[[ServerMetadata], bool] | None = None,
+    columns: Iterable[str] | None = None,
     stats: SgxReadStats | None = None,
-) -> LoadFrame:
-    """Deserialise ``.sgx`` bytes into a :class:`LoadFrame`.
+) -> Iterator[tuple[ServerMetadata, LoadSeries]]:
+    """Lazily yield ``(metadata, series)`` per server, with pushdown.
 
-    ``interval_minutes`` defaults to the interval recorded in the header.
-    When ``start_minute``/``end_minute`` bound a half-open time range,
-    chunks whose zone map falls outside it are skipped without reading or
-    verifying their payload -- per-day chunking (v2) makes that pruning
-    effective *within* a server -- and overlapping chunks are cut to the
-    range; servers with no samples in range are omitted from the result.
-    A server's surviving chunks are merged back into one series.
+    This is the streaming core every ``.sgx`` read goes through.  The
+    header, dictionary and every record/chunk header are walked -- and
+    the structure CRC verified -- *before* the first yield, so pruning
+    and filtering decisions are never made from an unverified layout,
+    even when a consumer stops early.  Payloads, by contrast, are only
+    read as the generator is consumed: abandoning the scan after k
+    servers never touches the remaining servers' bytes.
+
+    Three pushdowns avoid work at the byte level:
+
+    * ``start_minute``/``end_minute`` -- zone-map chunk pruning exactly
+      as in :func:`frame_from_sgx_bytes`; servers with no samples in
+      range are omitted.
+    * ``servers`` (an id allow-list) and ``predicate`` (a metadata
+      predicate, e.g. an engine filter) -- a server failing either is
+      skipped from its record header alone; its chunk payloads are never
+      read, decoded or checksummed.
+    * ``columns`` -- a projection over :data:`COLUMNS`.  Excluding
+      ``values`` skips decoding every values buffer, and (v3 files) its
+      checksum too; the yielded series carry NaN values, marking "not
+      loaded".  v1/v2 files have one joint CRC per chunk, so there the
+      whole payload is still checksummed before the timestamps are
+      trusted.
 
     ``data`` may be ``bytes``, ``bytearray`` or a ``memoryview``; non-
-    ``bytes`` buffers are read through a view, never copied wholesale --
-    a pruned read materialises only the slices it keeps.  ``stats``, when
-    given, is filled with chunk/byte counters for observability.
+    ``bytes`` buffers are read through a view, never copied wholesale.
+    ``stats``, when given, is filled incrementally as the scan advances.
     """
+    want_values = normalize_columns(columns)
     view = _as_view(data)
     version, interval, dictionary, records = _parse_structure(view)
     if interval_minutes is None:
         interval_minutes = interval
+    # Full structure walk (headers only -- payloads untouched) up front:
+    # raises on truncation, bounds violations and structure-CRC mismatch
+    # before anything is yielded.
+    record_list = list(records)
 
     pruning = start_minute is not None or end_minute is not None
-    range_lo = start_minute if start_minute is not None else -(1 << 62)
-    range_hi = end_minute if end_minute is not None else (1 << 62)
+    range_lo = start_minute if start_minute is not None else MIN_MINUTE
+    range_hi = end_minute if end_minute is not None else MAX_MINUTE
+    allow = frozenset(servers) if servers is not None else None
     # bytes objects are immutable, so full reads can hand out zero-copy
     # frombuffer views; mutable buffers must be copied chunk-by-chunk
     # (still never the whole file) or the frame would alias caller state.
     zero_copy = isinstance(data, bytes)
 
-    frame = LoadFrame(interval_minutes)
-    for server_id, meta_fields, chunks in records:
+    seen_ids: set[str] = set()
+    for server_id, meta_fields, chunks in record_list:
+        if server_id in seen_ids:
+            raise ColumnarFormatError(
+                f"garbled .sgx extract: duplicate chunk for server {server_id!r}"
+            )
+        seen_ids.add(server_id)
         (
             region_idx,
             engine_idx,
@@ -474,9 +563,31 @@ def frame_from_sgx_bytes(
             backup_end,
             backup_duration,
         ) = meta_fields
+        metadata = ServerMetadata(
+            server_id=server_id,
+            region=_dict_lookup(dictionary, region_idx, "region"),
+            engine=_dict_lookup(dictionary, engine_idx, "engine"),
+            default_backup_start=backup_start,
+            default_backup_end=backup_end,
+            backup_duration_minutes=backup_duration,
+            true_class=_dict_lookup(dictionary, true_class_idx, "true class"),
+        )
+        if stats is not None:
+            stats.servers_seen += 1
+        if (allow is not None and server_id not in allow) or (
+            predicate is not None and not predicate(metadata)
+        ):
+            # Server filtered out from its (structure-verified) header:
+            # every chunk payload stays unread and unverified.
+            if stats is not None:
+                stats.servers_skipped += 1
+                stats.chunks_seen += len(chunks)
+                stats.chunks_pruned += len(chunks)
+                stats.payload_bytes_total += sum(c[0] for c in chunks) * _POINT_BYTES
+            continue
         kept_ts: list[np.ndarray] = []
         kept_vs: list[np.ndarray] = []
-        for n_points, min_ts, max_ts, payload_crc, payload_offset in chunks:
+        for n_points, min_ts, max_ts, ts_crc, vs_crc, payload_offset in chunks:
             payload_bytes = n_points * _POINT_BYTES
             if stats is not None:
                 stats.chunks_seen += 1
@@ -486,15 +597,39 @@ def frame_from_sgx_bytes(
                 if stats is not None:
                     stats.chunks_pruned += 1
                 continue
-            if zlib.crc32(view[payload_offset : payload_offset + payload_bytes]) != payload_crc:
-                raise ColumnarFormatError(
-                    f"garbled .sgx extract: chunk checksum mismatch for {server_id!r}"
-                )
+            ts_bytes = 8 * n_points
+            if vs_crc is None:
+                # v1/v2: one joint CRC over both column buffers, so even a
+                # timestamps-only projection must checksum the payload.
+                if zlib.crc32(view[payload_offset : payload_offset + payload_bytes]) != ts_crc:
+                    raise ColumnarFormatError(
+                        f"garbled .sgx extract: chunk checksum mismatch for {server_id!r}"
+                    )
+                verified = payload_bytes
+            else:
+                if zlib.crc32(view[payload_offset : payload_offset + ts_bytes]) != ts_crc:
+                    raise ColumnarFormatError(
+                        f"garbled .sgx extract: chunk checksum mismatch for {server_id!r}"
+                    )
+                verified = ts_bytes
+                if want_values:
+                    if (
+                        zlib.crc32(view[payload_offset + ts_bytes : payload_offset + payload_bytes])
+                        != vs_crc
+                    ):
+                        raise ColumnarFormatError(
+                            f"garbled .sgx extract: chunk checksum mismatch for {server_id!r}"
+                        )
+                    verified = payload_bytes
             if stats is not None:
-                stats.payload_bytes_verified += payload_bytes
+                stats.payload_bytes_verified += verified
+                if not want_values:
+                    stats.columns_skipped += 1
             timestamps = np.frombuffer(view, dtype="<i8", count=n_points, offset=payload_offset)
-            values = np.frombuffer(
-                view, dtype="<f8", count=n_points, offset=payload_offset + 8 * n_points
+            values = (
+                np.frombuffer(view, dtype="<f8", count=n_points, offset=payload_offset + ts_bytes)
+                if want_values
+                else None
             )
             if pruning:
                 if min_ts < range_lo or max_ts >= range_hi:
@@ -503,17 +638,24 @@ def frame_from_sgx_bytes(
                     if lo == hi:
                         continue
                     timestamps = timestamps[lo:hi]
-                    values = values[lo:hi]
+                    if values is not None:
+                        values = values[lo:hi]
                 # A partial read keeps a small fraction of the file;
                 # copying the kept slices releases the file buffer
                 # (frombuffer views would pin it for the frame's
                 # lifetime).  Full reads of immutable bytes stay
                 # zero-copy -- there the frame spans the buffer anyway.
                 timestamps = timestamps.copy()
-                values = values.copy()
+                if values is not None:
+                    values = values.copy()
             elif not zero_copy:
                 timestamps = timestamps.copy()
-                values = values.copy()
+                if values is not None:
+                    values = values.copy()
+            if values is None:
+                # Unprojected values surface as NaN -- "not loaded", never
+                # a fabricated 0.0 load.
+                values = np.full(timestamps.shape[0], np.nan, dtype="<f8")
             if n_points:
                 kept_ts.append(timestamps)
                 kept_vs.append(values)
@@ -532,22 +674,53 @@ def frame_from_sgx_bytes(
                     )
             timestamps = np.concatenate(kept_ts)
             values = np.concatenate(kept_vs)
-        if server_id in frame:
-            raise ColumnarFormatError(
-                f"garbled .sgx extract: duplicate chunk for server {server_id!r}"
-            )
-        metadata = ServerMetadata(
-            server_id=server_id,
-            region=_dict_lookup(dictionary, region_idx, "region"),
-            engine=_dict_lookup(dictionary, engine_idx, "engine"),
-            default_backup_start=backup_start,
-            default_backup_end=backup_end,
-            backup_duration_minutes=backup_duration,
-            true_class=_dict_lookup(dictionary, true_class_idx, "true class"),
-        )
-        frame.add_server(
-            metadata, LoadSeries(timestamps, values, interval_minutes, validate=False)
-        )
+        yield metadata, LoadSeries(timestamps, values, interval_minutes, validate=False)
+
+
+def frame_from_sgx_bytes(
+    data,
+    interval_minutes: int | None = None,
+    start_minute: int | None = None,
+    end_minute: int | None = None,
+    stats: SgxReadStats | None = None,
+    *,
+    servers: Collection[str] | None = None,
+    predicate: Callable[[ServerMetadata], bool] | None = None,
+    columns: Iterable[str] | None = None,
+) -> LoadFrame:
+    """Deserialise ``.sgx`` bytes into a :class:`LoadFrame`.
+
+    ``interval_minutes`` defaults to the interval recorded in the header.
+    When ``start_minute``/``end_minute`` bound a half-open time range,
+    chunks whose zone map falls outside it are skipped without reading or
+    verifying their payload -- per-day chunking makes that pruning
+    effective *within* a server -- and overlapping chunks are cut to the
+    range; servers with no samples in range are omitted from the result.
+    A server's surviving chunks are merged back into one series.
+
+    ``servers``/``predicate``/``columns`` push server filtering and
+    column projection down to the byte level -- see
+    :func:`scan_sgx_bytes`, which this wraps.
+
+    ``data`` may be ``bytes``, ``bytearray`` or a ``memoryview``; non-
+    ``bytes`` buffers are read through a view, never copied wholesale --
+    a pruned read materialises only the slices it keeps.  ``stats``, when
+    given, is filled with chunk/byte counters for observability.
+    """
+    if interval_minutes is None:
+        interval_minutes = _parse_header(_as_view(data))[1]
+    frame = LoadFrame(interval_minutes)
+    for metadata, series in scan_sgx_bytes(
+        data,
+        interval_minutes,
+        start_minute,
+        end_minute,
+        servers=servers,
+        predicate=predicate,
+        columns=columns,
+        stats=stats,
+    ):
+        frame.add_server(metadata, series)
     return frame
 
 
@@ -584,7 +757,7 @@ def sgx_summary(data) -> dict[str, object]:
     total_points = 0
     for server_id, _meta_fields, chunk_list in record_iter:
         n_servers += 1
-        for n_points, min_ts, max_ts, _payload_crc, _payload_offset in chunk_list:
+        for n_points, min_ts, max_ts, _ts_crc, _vs_crc, _payload_offset in chunk_list:
             total_points += n_points
             chunks.append(
                 {

@@ -18,22 +18,55 @@ now-stale copy); reads prefer ``.sgx`` when both exist and fall back to a
 co-located CSV when an ``.sgx`` file is damaged.  Fingerprints, sizes,
 listing and deletion cover both formats, and every accessor -- including
 the metadata ones -- enforces the principal allow-list.
+
+Reading goes through one declarative surface:
+:meth:`DataLakeStore.query` materialises a typed
+:class:`~repro.storage.query.ExtractQuery` (server filters and column
+projections are pushed down into the ``.sgx`` reader; CSV extracts get
+post-parse equivalents, so both formats answer identically) and
+:meth:`DataLakeStore.scan` streams the same answer one server at a time.
+``read_extract`` remains as a thin back-compat shim that builds a query
+internally.
 """
 
 from __future__ import annotations
 
 import hashlib
+from collections.abc import Iterator
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.storage import columnar, csv_io
-from repro.storage.columnar import ColumnarFormatError
-from repro.timeseries.calendar import DEFAULT_INTERVAL_MINUTES
-from repro.timeseries.frame import LoadFrame
+from repro.storage.columnar import ColumnarFormatError, SgxReadStats
 
-#: Known extract formats, in read-preference order: the columnar format
-#: ingests an order of magnitude faster, so it wins when both exist.
-EXTRACT_FORMATS = ("sgx", "csv")
+# Format names and validation live with the query types now; re-exported
+# here because this has always been their public import path.
+from repro.storage.query import (
+    EXTRACT_FORMATS,
+    ExtractQuery,
+    QueryError,
+    QueryResult,
+    ScanStats,
+    check_format,
+    project_series,
+    truncate_series,
+)
+from repro.timeseries.calendar import DEFAULT_INTERVAL_MINUTES
+from repro.timeseries.frame import LoadFrame, ServerMetadata
+from repro.timeseries.series import LoadSeries
+
+__all__ = [
+    "EXTRACT_FORMATS",
+    "AccessDeniedError",
+    "DataLakeStore",
+    "ExtractKey",
+    "ExtractNotFoundError",
+    "ExtractQuery",
+    "QueryError",
+    "QueryResult",
+    "ScanStats",
+    "check_format",
+]
 
 
 class ExtractNotFoundError(KeyError):
@@ -53,13 +86,6 @@ class ExtractKey:
 
     def filename(self, fmt: str = "csv") -> str:
         return f"extract_{self.region}_week{self.week:04d}.{fmt}"
-
-
-def check_format(fmt: str) -> str:
-    """Validate an extract format name; returns it for chaining."""
-    if fmt not in EXTRACT_FORMATS:
-        raise ValueError(f"unknown extract format {fmt!r}; expected one of {EXTRACT_FORMATS}")
-    return fmt
 
 
 class DataLakeStore:
@@ -254,6 +280,239 @@ class DataLakeStore:
                 if preference[other] > preference[fmt]:
                     self._path_for(key, other).unlink(missing_ok=True)
 
+    # ------------------------------------------------------------------ #
+    # The query surface (the one read path)
+    # ------------------------------------------------------------------ #
+
+    def _query_keys(self, q: ExtractQuery, principal: str | None) -> list[ExtractKey]:
+        """Extract keys inside ``q``'s partition scope, sorted."""
+        if q.regions is not None and len(q.regions) == 1:
+            keys = self.list_extracts(q.regions[0], principal=principal)
+        else:
+            keys = self.list_extracts(principal=principal)
+        return [key for key in keys if q.matches_key(key)]
+
+    def _read_csv_for_query(
+        self, key: ExtractKey, q: ExtractQuery, stats: ScanStats | None
+    ) -> LoadFrame:
+        """Parse ``key``'s CSV copy and apply ``q`` post-parse.
+
+        The CSV schema has no checksums, zone maps or column buffers, so
+        nothing can be skipped at the byte level; the filters run after
+        the parse and produce exactly the frame the ``.sgx`` pushdowns
+        would.  In particular, a ranged read drops servers whose sliced
+        series come up empty -- same as the ``.sgx`` path omitting
+        servers with no samples in range.
+        """
+        raw = self._stored_bytes(key, "csv")
+        frame = csv_io.frame_from_csv_text(
+            raw.decode("utf-8"),
+            q.interval_minutes if q.interval_minutes is not None else DEFAULT_INTERVAL_MINUTES,
+        )
+        if stats is not None:
+            stats.payload_bytes_stored += len(raw)
+            stats.payload_bytes_verified += len(raw)
+        allow = set(q.servers) if q.servers is not None else None
+        predicate = q.metadata_predicate()
+        rng = q.time_range() if q.is_ranged else None
+        out = LoadFrame(frame.interval_minutes)
+        for server_id, metadata, series in frame.items():
+            if stats is not None:
+                stats.servers_seen += 1
+            if (allow is not None and server_id not in allow) or (
+                predicate is not None and not predicate(metadata)
+            ):
+                if stats is not None:
+                    stats.servers_skipped += 1
+                continue
+            series = project_series(series, q.wants_values, rng)
+            if q.is_ranged and series.is_empty:
+                continue  # parity with .sgx: no samples in range, omitted
+            out.add_server(metadata, series)
+        return out
+
+    def _read_one_for_query(
+        self, key: ExtractKey, q: ExtractQuery, stats: ScanStats | None
+    ) -> LoadFrame:
+        """Materialise ``q`` against one stored extract, negotiating the
+        format (damaged ``.sgx`` degrades to a co-located CSV copy)."""
+        formats = self._resolve_format(key, q.fmt)
+        if stats is not None:
+            stats.extracts_scanned += 1
+        if formats[0] == "sgx":
+            sgx_stats = SgxReadStats()
+            try:
+                frame = columnar.frame_from_sgx_bytes(
+                    self._stored_bytes(key, "sgx"),
+                    q.interval_minutes,
+                    start_minute=q.start_minute,
+                    end_minute=q.end_minute,
+                    stats=sgx_stats,
+                    servers=q.servers,
+                    predicate=q.metadata_predicate(),
+                    columns=q.columns,
+                )
+            except ColumnarFormatError:
+                if "csv" not in formats:
+                    raise
+            else:
+                if stats is not None:
+                    stats.absorb_sgx(sgx_stats)
+                return frame
+        return self._read_csv_for_query(key, q, stats)
+
+    def query(self, q: ExtractQuery, principal: str | None = None) -> QueryResult:
+        """Answer ``q`` with one materialised frame plus scan statistics.
+
+        Every extract in ``q``'s partition scope is read with the
+        server-filter and column-projection pushdowns (or their CSV
+        post-parse equivalents) applied; a query matching no extract
+        returns an empty frame (``stats.extracts_scanned == 0`` tells the
+        caller nothing was found).  A server appearing in several matched
+        extracts has its series concatenated in key order -- overlapping
+        copies raise :class:`~repro.storage.query.QueryError` (narrow the
+        query) -- keeping the metadata of the first key that carried it.
+        ``q.limit`` caps the total rows materialised; once reached, the
+        remaining extracts are not read at all.  Forcing ``q.fmt`` raises
+        :class:`ExtractNotFoundError` when a matched key lacks that
+        format's copy.
+        """
+        self._check_access(principal)
+        stats = ScanStats()
+        out: LoadFrame | None = None
+        remaining = q.limit
+        for key in self._query_keys(q, principal):
+            if remaining is not None and remaining <= 0:
+                break
+            frame = self._read_one_for_query(key, q, stats)
+            if out is None:
+                out = LoadFrame(frame.interval_minutes)
+            elif frame.interval_minutes != out.interval_minutes:
+                raise QueryError(
+                    f"extracts matched by the query record different sampling "
+                    f"intervals ({out.interval_minutes} vs {frame.interval_minutes} "
+                    f"minutes for {key})"
+                )
+            for server_id, metadata, series in frame.items():
+                if remaining is not None:
+                    if remaining <= 0:
+                        break
+                    series = truncate_series(series, remaining)
+                    remaining -= len(series)
+                if server_id in out:
+                    try:
+                        merged = out.series(server_id).concat(series)
+                    except ValueError as exc:
+                        raise QueryError(
+                            f"server {server_id!r} appears in several matched extracts "
+                            f"with overlapping samples; narrow the query's weeks/regions "
+                            f"({exc})"
+                        ) from exc
+                    out.add_server(out.metadata(server_id), merged, overwrite=True)
+                else:
+                    out.add_server(metadata, series)
+                stats.rows += len(series)
+        if out is None:
+            out = LoadFrame(
+                q.interval_minutes if q.interval_minutes is not None else DEFAULT_INTERVAL_MINUTES
+            )
+        return QueryResult(query=q, frame=out, stats=stats)
+
+    def _scan_one(
+        self, key: ExtractKey, q: ExtractQuery, stats: ScanStats | None
+    ) -> Iterator[tuple[ServerMetadata, LoadSeries]]:
+        """Stream one extract's servers under ``q``.
+
+        ``.sgx`` extracts stream truly lazily (a consumer that stops
+        early never touches the remaining servers' payload bytes).  A
+        damaged ``.sgx`` copy degrades to the co-located CSV only when
+        the damage surfaces before the first server is yielded (structure
+        damage always does -- the layout is verified up front); payload
+        damage discovered mid-stream propagates, since silently
+        re-starting from CSV would duplicate already-yielded servers.
+        """
+        formats = self._resolve_format(key, q.fmt)
+        if stats is not None:
+            stats.extracts_scanned += 1
+        if formats[0] == "sgx":
+            sgx_stats = SgxReadStats()
+            generator = columnar.scan_sgx_bytes(
+                self._stored_bytes(key, "sgx"),
+                q.interval_minutes,
+                q.start_minute,
+                q.end_minute,
+                servers=q.servers,
+                predicate=q.metadata_predicate(),
+                columns=q.columns,
+                stats=sgx_stats,
+            )
+            fall_back = False
+            try:
+                try:
+                    first = next(generator)
+                except StopIteration:
+                    return
+                except ColumnarFormatError:
+                    if "csv" not in formats:
+                        raise
+                    fall_back = True
+                else:
+                    yield first
+                    yield from generator
+            finally:
+                if stats is not None and not fall_back:
+                    stats.absorb_sgx(sgx_stats)
+            if not fall_back:
+                return
+            # The damaged read's counters are discarded wholesale; the CSV
+            # re-read below accounts for itself.
+        for _server_id, metadata, series in self._read_csv_for_query(key, q, stats).items():
+            yield metadata, series
+
+    def scan(
+        self,
+        q: ExtractQuery,
+        principal: str | None = None,
+        stats: ScanStats | None = None,
+    ) -> Iterator[tuple[ExtractKey, ServerMetadata, LoadSeries]]:
+        """Stream ``q``'s answer as ``(key, metadata, series)`` triples.
+
+        The streaming dual of :meth:`query` for consumers that never need
+        the whole frame in memory (fleet coordinators, exports, metadata
+        walks): servers arrive one at a time, extracts are opened one at
+        a time, and abandoning the iterator stops all further reading --
+        combined with ``q.limit`` this is the lake's row-bounded cursor
+        (the scan returns the moment the limit is exhausted, before the
+        next server's payload would be decoded).  Like :meth:`query`, a
+        scan refuses to silently mix sampling intervals across matched
+        extracts.  ``stats``, when given, fills in as the scan advances.
+        """
+        self._check_access(principal)
+        remaining = q.limit
+        if remaining is not None and remaining <= 0:
+            return
+        expected_interval: int | None = None
+        for key in self._query_keys(q, principal):
+            for metadata, series in self._scan_one(key, q, stats):
+                if expected_interval is None:
+                    expected_interval = series.interval_minutes
+                elif series.interval_minutes != expected_interval:
+                    raise QueryError(
+                        f"extracts matched by the query record different sampling "
+                        f"intervals ({expected_interval} vs {series.interval_minutes} "
+                        f"minutes for {key})"
+                    )
+                if remaining is not None:
+                    series = truncate_series(series, remaining)
+                    remaining -= len(series)
+                if stats is not None:
+                    stats.rows += len(series)
+                yield key, metadata, series
+                if remaining is not None and remaining <= 0:
+                    # Exhausted exactly here: return *before* the iterator
+                    # would decode the next server's payload.
+                    return
+
     def read_extract(
         self,
         key: ExtractKey,
@@ -265,42 +524,26 @@ class DataLakeStore:
     ) -> LoadFrame:
         """Load the extract for ``key``; raises :class:`ExtractNotFoundError`.
 
-        Reads negotiate the stored format: ``.sgx`` is preferred when both
-        exist, and a damaged ``.sgx`` file degrades to a co-located CSV
-        copy when one is available (otherwise the typed
-        :class:`~repro.storage.columnar.ColumnarFormatError` propagates).
+        Back-compat shim over :meth:`query`: builds the equivalent
+        single-key :class:`~repro.storage.query.ExtractQuery` and returns
+        its frame.  Reads negotiate the stored format (``.sgx`` preferred,
+        damaged ``.sgx`` degrades to a co-located CSV copy);
         ``interval_minutes=None`` means "the interval the extract itself
-        records" -- the ``.sgx`` header's value, or the 5-minute default
-        for CSV (whose schema does not carry one); the lake converter uses
-        this to preserve non-default intervals.  ``start_minute``/
-        ``end_minute`` cut the result to a half-open time range -- a
-        zone-map-pruned partial read for ``.sgx``, a post-parse slice for
-        CSV.  ``fmt`` forces one specific stored format.
+        records"; ``start_minute``/``end_minute`` cut to a half-open time
+        range; ``fmt`` forces one specific stored format.
         """
         self._check_access(principal)
-        formats = self._resolve_format(key, fmt)
-        if formats[0] == "sgx":
-            try:
-                return columnar.frame_from_sgx_bytes(
-                    self._stored_bytes(key, "sgx"),
-                    interval_minutes,
-                    start_minute=start_minute,
-                    end_minute=end_minute,
-                )
-            except ColumnarFormatError:
-                if "csv" not in formats:
-                    raise
-        frame = csv_io.frame_from_csv_text(
-            self._stored_bytes(key, "csv").decode("utf-8"),
-            interval_minutes if interval_minutes is not None else DEFAULT_INTERVAL_MINUTES,
+        # Preserve the historical contract: a missing key (or missing
+        # forced format) raises instead of answering with an empty frame.
+        self._resolve_format(key, fmt)
+        q = ExtractQuery.for_key(
+            key,
+            interval_minutes=interval_minutes,
+            fmt=fmt,
+            start_minute=start_minute,
+            end_minute=end_minute,
         )
-        if start_minute is not None or end_minute is not None:
-            frame = frame.slice_time(
-                start_minute if start_minute is not None else -(1 << 62),
-                end_minute if end_minute is not None else (1 << 62),
-            )
-            frame = frame.filter(lambda _metadata, series: not series.is_empty)
-        return frame
+        return self.query(q, principal=principal).frame
 
     def read_extract_text(self, key: ExtractKey, principal: str | None = None) -> str:
         """Return the extract for ``key`` as CSV text.

@@ -15,7 +15,20 @@ from dataclasses import dataclass, field, replace
 
 from repro.storage import columnar
 from repro.storage.datalake import DataLakeStore, ExtractKey, check_format
+from repro.storage.query import ExtractQuery
 from repro.timeseries.calendar import DEFAULT_INTERVAL_MINUTES
+
+
+def _read_stored_frame(
+    lake: DataLakeStore, key: ExtractKey, fmt: str, principal: str | None
+):
+    """One stored copy of ``key`` as a frame, via the lake's query surface.
+
+    ``interval_minutes=None`` preserves whatever interval the extract
+    itself records (the converter must never rewrite it to the default).
+    """
+    query = ExtractQuery.for_key(key, interval_minutes=None, fmt=fmt)
+    return lake.query(query, principal=principal).frame
 
 
 class ConversionVerificationError(RuntimeError):
@@ -238,7 +251,7 @@ def convert_lake(
                     _fmt, raw = lake.read_extract_bytes(key, principal=principal, fmt="sgx")
                     target = columnar.frame_from_sgx_bytes(raw, None)
                 else:
-                    target = lake.read_extract(key, None, principal=principal, fmt=to_format)
+                    target = _read_stored_frame(lake, key, to_format, principal)
             except ValueError as exc:
                 if len(formats) == 1:
                     raise ConversionVerificationError(
@@ -266,7 +279,7 @@ def convert_lake(
                 if delete_source and leftovers:
                     if verify:
                         for leftover in leftovers:
-                            source = lake.read_extract(key, None, principal=principal, fmt=leftover)
+                            source = _read_stored_frame(lake, key, leftover, principal)
                             if source.content_hash() != target.content_hash():
                                 raise ConversionVerificationError(
                                     f"existing .{to_format} copy of {key} disagrees with "
@@ -294,7 +307,7 @@ def convert_lake(
                 continue
         source_format = formats[0]
         bytes_in = lake.extract_size_bytes(key, principal=principal, fmt=source_format)
-        frame = lake.read_extract(key, None, principal=principal, fmt=source_format)
+        frame = _read_stored_frame(lake, key, source_format, principal)
         if to_format == "csv":
             # The row-oriented CSV schema cannot represent a server with
             # zero samples; converting would silently drop its metadata.
@@ -324,7 +337,7 @@ def convert_lake(
             chunk_minutes=chunk_minutes,
         )
         if verify:
-            round_tripped = lake.read_extract(key, None, principal=principal, fmt=to_format)
+            round_tripped = _read_stored_frame(lake, key, to_format, principal)
             if round_tripped.content_hash() != frame.content_hash():
                 lake.delete_extract(key, principal=principal, fmt=to_format)
                 detail = ""

@@ -11,10 +11,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.storage.datalake import DataLakeStore, ExtractKey
+from repro.storage.query import ExtractQuery
 from repro.telemetry.raw_store import RawTelemetryStore
 from repro.timeseries.calendar import DEFAULT_INTERVAL_MINUTES, MINUTES_PER_WEEK
 from repro.timeseries.frame import LoadFrame
 from repro.timeseries.resample import regularize
+
+
+class ExtractionVerificationError(RuntimeError):
+    """Raised when a freshly written extract does not read back intact."""
 
 
 @dataclass(frozen=True)
@@ -27,6 +32,8 @@ class ExtractionReport:
     extracted_points: int
     extract_format: str = "csv"
     extract_bytes: int = 0
+    #: Whether the stored copy was read back and checked after the write.
+    verified: bool = False
 
     def as_dict(self) -> dict[str, object]:
         return {
@@ -37,6 +44,7 @@ class ExtractionReport:
             "extracted_points": self.extracted_points,
             "extract_format": self.extract_format,
             "extract_bytes": self.extract_bytes,
+            "verified": self.verified,
         }
 
 
@@ -63,12 +71,20 @@ class LoadExtractionQuery:
         self._lake = data_lake
         self._interval = interval_minutes
 
-    def extract_week(self, region: str, week: int) -> ExtractionReport:
+    def extract_week(self, region: str, week: int, verify: bool = False) -> ExtractionReport:
         """Run the weekly extraction for one region and persist the extract.
 
         Raw rows falling inside week ``week`` are bucketed onto the regular
         grid by mean; servers with no rows in the week are omitted (they are
         either retired or not yet created).
+
+        With ``verify`` the stored copy is immediately read back through
+        the lake's query surface with a *timestamps-only column
+        projection* -- the cheapest structural read the format offers
+        (values buffers are neither decoded nor checksummed on ``.sgx``)
+        -- and its server/row counts are checked against what was
+        extracted; a mismatch raises
+        :class:`ExtractionVerificationError`.
         """
         week_start = week * MINUTES_PER_WEEK
         week_end = week_start + MINUTES_PER_WEEK
@@ -85,6 +101,22 @@ class LoadExtractionQuery:
 
         key = ExtractKey(region=region, week=week)
         self._lake.write_extract(key, frame)
+        if verify:
+            check = self._lake.query(
+                ExtractQuery.for_key(
+                    key, interval_minutes=self._interval, columns=("timestamps",)
+                )
+            )
+            if (
+                check.stats.extracts_scanned != 1
+                or len(check.frame) != len(frame)
+                or check.frame.total_points() != frame.total_points()
+            ):
+                raise ExtractionVerificationError(
+                    f"extract for {key} did not read back intact: stored "
+                    f"{len(check.frame)} server(s) / {check.frame.total_points()} "
+                    f"row(s), extracted {len(frame)} / {frame.total_points()}"
+                )
         return ExtractionReport(
             key=key,
             servers=len(frame),
@@ -92,16 +124,22 @@ class LoadExtractionQuery:
             extracted_points=frame.total_points(),
             extract_format=self._lake.write_format,
             extract_bytes=self._lake.extract_size_bytes(key),
+            verified=verify,
         )
 
-    def extract_weeks(self, region: str, weeks: range) -> list[ExtractionReport]:
+    def extract_weeks(
+        self, region: str, weeks: range, verify: bool = False
+    ) -> list[ExtractionReport]:
         """Run the extraction for several consecutive weeks of one region."""
-        return [self.extract_week(region, week) for week in weeks]
+        return [self.extract_week(region, week, verify=verify) for week in weeks]
 
-    def extract_all_regions(self, week: int) -> list[ExtractionReport]:
+    def extract_all_regions(self, week: int, verify: bool = False) -> list[ExtractionReport]:
         """Run the weekly extraction for every region with raw telemetry.
 
         The paper notes Load Extraction runs outside the per-region pipeline
         for all regions at once (Section 6.1).
         """
-        return [self.extract_week(region, week) for region in self._raw.regions()]
+        return [
+            self.extract_week(region, week, verify=verify)
+            for region in self._raw.regions()
+        ]

@@ -13,6 +13,15 @@ MINUTES_PER_HOUR = 60
 MINUTES_PER_DAY = 24 * MINUTES_PER_HOUR
 MINUTES_PER_WEEK = 7 * MINUTES_PER_DAY
 
+#: Open-range sentinels for half-open ``[start_minute, end_minute)`` time
+#: ranges: every valid epoch-minute timestamp satisfies
+#: ``MIN_MINUTE <= ts < MAX_MINUTE``, so "no lower bound" is ``MIN_MINUTE``
+#: and "no upper bound" is ``MAX_MINUTE``.  The storage layer (zone-map
+#: pruning, CSV slicing, extract queries) shares these instead of
+#: sprinkling ``1 << 62`` literals around.
+MIN_MINUTE = -(1 << 62)
+MAX_MINUTE = 1 << 62
+
 #: Default sampling interval for PostgreSQL/MySQL telemetry (Section 2.2).
 DEFAULT_INTERVAL_MINUTES = 5
 

@@ -532,7 +532,7 @@ class TestConvertCli:
         assert fleet_main(["convert", "--lake-dir", str(lake.root)]) == 0
         out = capsys.readouterr().out
         assert "1 extract(s) converted, 3 already current" in out
-        assert sgx_version(path.read_bytes()) == 2
+        assert sgx_version(path.read_bytes()) == 3
         assert lake.read_extract(key, None).content_hash() == frame.content_hash()
 
     def test_convert_upgrade_deletes_leftover_source(self, tmp_path):
@@ -550,7 +550,7 @@ class TestConvertCli:
         path = lake.root / key.region / key.filename("sgx")
         path.write_bytes(frame_to_sgx_v1_bytes(frame))
         report = convert_lake(lake, "sgx", delete_source=True)
-        assert sgx_version(path.read_bytes()) == 2
+        assert sgx_version(path.read_bytes()) == 3
         for each in lake.list_extracts():
             assert lake.extract_formats(each) == ("sgx",)
         upgraded = [r for r in report.records if not r.skipped]
@@ -575,7 +575,7 @@ class TestConvertCli:
         lake = DataLakeStore(seeded.root, write_format="sgx", chunk_minutes=0)
         convert_lake(lake, "sgx")
         raw = path.read_bytes()
-        assert sgx_version(raw) == 2
+        assert sgx_version(raw) == 3
         info = sgx_summary(raw)
         assert info["n_chunks"] == info["n_servers"]  # whole-series chunks
 
@@ -694,6 +694,170 @@ class TestConvertCli:
         assert code == 0
         assert lake.extract_formats(ExtractKey("region-0", 0)) == ("csv",)
         assert "sgx" in lake.extract_formats(ExtractKey("region-1", 0))
+
+
+class TestQueryHandoff:
+    """Workers receive (lake handle, ExtractQuery) -- never extract bytes."""
+
+    def _captured_tasks(self, monkeypatch, lake, units=None):
+        import repro.fleet_ops.orchestrator as orchestrator_module
+
+        captured = []
+        real_execute = orchestrator_module._execute_unit
+
+        def spy(task):
+            captured.append(task)
+            return real_execute(task)
+
+        monkeypatch.setattr(orchestrator_module, "_execute_unit", spy)
+        with FleetOrchestrator(lake, PipelineConfig()) as orchestrator:
+            report = orchestrator.run(units)
+            return report, captured, orchestrator
+
+    def test_tasks_carry_handle_and_query_not_payloads(self, monkeypatch, memory_lake):
+        import pickle
+
+        from repro.storage.query import ExtractQuery
+
+        report, tasks, _orch = self._captured_tasks(monkeypatch, memory_lake)
+        assert report.n_failed == 0
+        assert len(tasks) == 4
+        extract_bytes = sum(
+            memory_lake.extract_size_bytes(key) for key in memory_lake.list_extracts()
+        )
+        for task in tasks:
+            assert not hasattr(task, "payload")
+            assert isinstance(task.query, ExtractQuery)
+            assert task.query.regions == (task.region,)
+            assert task.query.weeks == (task.week,)
+            assert task.lake_root is not None
+            # The task is orders of magnitude smaller than the extract it
+            # describes: payload bytes stay out of the executor entirely.
+            assert len(pickle.dumps(task)) < extract_bytes // 20
+
+    def test_memory_lake_spills_to_disk_handle(self, monkeypatch, fleet_spec):
+        from pathlib import Path
+
+        lake = DataLakeStore(write_format="sgx")
+        populate_lake(lake, fleet_spec, weeks=[0])
+        report, tasks, orchestrator = self._captured_tasks(monkeypatch, lake)
+        assert report.n_failed == 0
+        spill_root = Path(tasks[0].lake_root)
+        assert all(task.lake_root == str(spill_root) for task in tasks)
+        # close() (already called) removed the spill directory.
+        assert not spill_root.exists()
+
+    def test_spill_preserves_fingerprints_and_unit_cache(self, tmp_path, fleet_spec):
+        # The unit-outcome cache is keyed by the stored-bytes fingerprint;
+        # spilling must be byte-identical or warm re-runs would recompute.
+        lake = DataLakeStore()
+        populate_lake(lake, fleet_spec, weeks=[0])
+        cache_dir = tmp_path / "cache"
+        with FleetOrchestrator(lake, PipelineConfig(), cache_dir=cache_dir) as orchestrator:
+            cold = orchestrator.run()
+            warm = orchestrator.run()
+        assert cold.cache_summary()["unit_hits"] == 0
+        assert warm.cache_summary()["unit_hits"] == 2
+
+    def test_memory_lake_with_process_backend(self, fleet_spec):
+        # The ROADMAP open item: in-memory lakes used to ship whole
+        # payloads to process workers; the spill handle closes that.
+        lake = DataLakeStore(write_format="sgx")
+        populate_lake(
+            lake,
+            default_fleet_spec(servers_per_region=(4, 3), weeks=4, seed=5),
+            weeks=[0],
+        )
+        with FleetOrchestrator(
+            lake, PipelineConfig(), backend="processes", n_workers=2
+        ) as orchestrator:
+            report = orchestrator.run()
+        assert report.n_units == 2
+        assert report.n_failed == 0
+
+    def test_warm_rerun_does_not_rewrite_unchanged_spill(self, fleet_spec):
+        # Re-spilling the whole lake on every run would defeat cheap warm
+        # re-runs; unchanged stored bytes must not be rewritten to disk.
+        from pathlib import Path
+
+        lake = DataLakeStore(write_format="sgx")
+        keys = populate_lake(lake, fleet_spec, weeks=[0])
+        with FleetOrchestrator(lake, PipelineConfig()) as orchestrator:
+            orchestrator.run(keys)
+            spill_root = Path(orchestrator._spill_dir)
+            before = {
+                path: path.stat().st_mtime_ns for path in spill_root.rglob("extract_*")
+            }
+            assert before
+            orchestrator.run(keys)
+            after = {
+                path: path.stat().st_mtime_ns for path in spill_root.rglob("extract_*")
+            }
+        assert after == before  # byte-identical extracts: no rewrite
+
+    def test_spill_refreshes_changed_extracts(self, monkeypatch, fleet_spec):
+        lake = DataLakeStore()
+        keys = populate_lake(lake, fleet_spec, weeks=[0])
+        with FleetOrchestrator(lake, PipelineConfig()) as orchestrator:
+            first = orchestrator.run([keys[0]])
+            # Mutate the in-memory extract between runs; the spill handle
+            # must serve the new content, not a stale copy.
+            frame = WorkloadGenerator(fleet_spec).generate_weekly_extract(
+                keys[0].region, 3
+            )
+            lake.write_extract(keys[0], frame)
+            second = orchestrator.run([keys[0]])
+        assert first.n_failed == second.n_failed == 0
+        assert (
+            second.outcomes[0].n_servers == len(frame)
+        )
+
+
+class TestScanRollup:
+    """Satellite: per-unit ScanStats roll into FleetReport."""
+
+    def test_outcomes_carry_scan_stats(self, memory_lake):
+        with FleetOrchestrator(memory_lake, PipelineConfig()) as orchestrator:
+            report = orchestrator.run()
+        for outcome in report.outcomes:
+            assert outcome.scan["extracts_scanned"] == 1
+            assert outcome.scan["rows"] > 0
+            assert outcome.scan["servers_seen"] == outcome.n_servers
+
+    def test_scan_rollup_sums_units(self, memory_lake):
+        with FleetOrchestrator(memory_lake, PipelineConfig()) as orchestrator:
+            report = orchestrator.run()
+        rollup = report.scan_rollup()
+        assert rollup["extracts_scanned"] == 4
+        assert rollup["rows"] == sum(o.scan["rows"] for o in report.outcomes)
+        assert 0.0 < rollup["verified_fraction"] <= 1.0
+        assert rollup["servers_seen"] == 26
+
+    def test_scan_rollup_rendered_and_serialized(self, memory_lake):
+        with FleetOrchestrator(memory_lake, PipelineConfig()) as orchestrator:
+            report = orchestrator.run()
+        assert "Scan:" in report.render_text()
+        assert "payload bytes CRC-verified" in report.render_text()
+        assert "scan" in report.as_dict()
+        json.dumps(report.as_dict())  # stays JSON-serializable
+
+    def test_scan_stats_survive_unit_cache_roundtrip(self, tmp_path, fleet_spec):
+        lake = DataLakeStore(tmp_path / "lake")
+        populate_lake(lake, fleet_spec, weeks=[0])
+        with FleetOrchestrator(
+            lake, PipelineConfig(), cache_dir=tmp_path / "cache"
+        ) as orchestrator:
+            cold = orchestrator.run()
+            warm = orchestrator.run()
+        for before, after in zip(cold.outcomes, warm.outcomes):
+            assert after.from_unit_cache
+            assert after.scan == before.scan
+
+    def test_failed_unit_has_empty_scan(self, memory_lake):
+        with FleetOrchestrator(memory_lake, PipelineConfig()) as orchestrator:
+            report = orchestrator.run([ExtractKey("region-9", 7)])
+        assert report.outcomes[0].scan == {}
+        assert report.scan_rollup()["extracts_scanned"] == 0
 
 
 class TestFleetCli:

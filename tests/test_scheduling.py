@@ -208,6 +208,49 @@ class TestRunnerService:
         runner.run_day("c", 1, {}, {})
         assert len(runner.executions()) == 1
 
+    def _lake_with_due_servers(self):
+        from repro.storage.datalake import DataLakeStore, ExtractKey
+
+        lake = DataLakeStore(write_format="sgx")
+        frame = LoadFrame(5)
+        frame.add_server(metadata_for("srv-0"), diurnal_series(28))
+        frame.add_server(metadata_for("srv-1"), diurnal_series(28, seed=2))
+        lake.write_extract(ExtractKey("region-0", 0), frame)
+        other = LoadFrame(5)
+        other_metadata = ServerMetadata(
+            server_id="foreign", region="region-9", default_backup_start=100
+        )
+        other.add_server(other_metadata, diurnal_series(1))
+        lake.write_extract(ExtractKey("region-9", 0), other)
+        return lake
+
+    def test_run_day_from_lake_streams_due_metadata(self):
+        predictions = {"srv-0": diurnal_series(28).day(27)}
+        runner = RunnerService("region-0", serving=serving_with(predictions))
+        lake = self._lake_with_due_servers()
+        verdicts = {"srv-0": predictable_verdict("srv-0")}
+        execution = runner.run_day_from_lake("cluster-1", 27, lake, verdicts)
+        assert execution.succeeded
+        # Both region-0 servers were scheduled; the foreign region's
+        # extract partition was never scanned.
+        assert set(execution.decisions) == {"srv-0", "srv-1"}
+        assert execution.decisions["srv-0"].moved
+
+    def test_run_day_from_lake_narrows_with_query(self):
+        from repro.storage.query import ExtractQuery
+
+        runner = RunnerService("region-0", serving=serving_with({}))
+        lake = self._lake_with_due_servers()
+        execution = runner.run_day_from_lake(
+            "cluster-1",
+            27,
+            lake,
+            {},
+            query=ExtractQuery(servers=("srv-1",), regions=("ignored",)),
+        )
+        # The runner forces its own region; the server allow-list holds.
+        assert set(execution.decisions) == {"srv-1"}
+
 
 class TestBackupImpactAnalyzer:
     def build_fleet(self):

@@ -22,11 +22,11 @@ from repro.storage.columnar import (
 from repro.timeseries.frame import LoadFrame, ServerMetadata
 from repro.timeseries.series import LoadSeries
 
-from tests.helpers import frame_to_sgx_v1_bytes, make_series
+from tests.helpers import frame_to_sgx_v1_bytes, frame_to_sgx_v2_bytes, make_series
 
 #: Bytes from a chunk's max_ts field to the end of its fixed header
-#: (max_ts i64 + payload_crc u32).
-_CHUNK_FIXED_TAIL = 12
+#: (max_ts i64 + ts_crc u32 + vs_crc u32).
+_CHUNK_FIXED_TAIL = 16
 
 
 def build_frame(n_servers=3, points=12, interval=5) -> LoadFrame:
@@ -305,7 +305,7 @@ class TestChunking:
     def test_writer_splits_one_chunk_per_day(self):
         frame = multi_day_frame(n_servers=2, n_days=7)
         info = sgx_summary(frame_to_sgx_bytes(frame))
-        assert info["version"] == 2
+        assert info["version"] == columnar.VERSION
         assert info["n_servers"] == 2
         assert info["n_chunks"] == 14
         per_server = [c for c in info["chunks"] if c["server_id"] == "srv-0"]
@@ -491,9 +491,207 @@ class TestV1Compatibility:
         with pytest.raises(ColumnarFormatError, match="checksum"):
             frame_from_sgx_bytes(bytes(data))
 
-    def test_version_two_is_current(self):
-        assert columnar.VERSION == 2
-        assert sgx_version(frame_to_sgx_bytes(build_frame())) == 2
+    def test_version_three_is_current(self):
+        assert columnar.VERSION == 3
+        assert sgx_version(frame_to_sgx_bytes(build_frame())) == 3
+
+
+class TestV2Compatibility:
+    """Files written by the v2 (joint-payload-CRC) writer stay readable."""
+
+    def test_v2_roundtrip_preserves_content_hash(self):
+        frame = multi_day_frame(n_servers=2, n_days=7)
+        data = frame_to_sgx_v2_bytes(frame)
+        assert sgx_version(data) == 2
+        restored = frame_from_sgx_bytes(data)
+        assert restored.content_hash() == frame.content_hash()
+
+    def test_v2_time_slice_within_server(self):
+        frame = multi_day_frame(n_servers=1, n_days=7)
+        data = frame_to_sgx_v2_bytes(frame)
+        part = frame_from_sgx_bytes(data, start_minute=1000, end_minute=2000)
+        assert part.series("srv-0") == frame.series("srv-0").slice(1000, 2000)
+
+    def test_v2_payload_corruption_detected(self):
+        data = bytearray(frame_to_sgx_v2_bytes(build_frame()))
+        data[-1] ^= 0x01
+        with pytest.raises(ColumnarFormatError, match="checksum"):
+            frame_from_sgx_bytes(bytes(data))
+
+    def test_v2_projection_still_checksums_whole_payload(self):
+        # The joint CRC cannot vouch for the timestamps alone, so a
+        # timestamps-only read of a v2 file must verify all payload bytes
+        # (the decode is still skipped).
+        frame = multi_day_frame(n_servers=2, n_days=2)
+        stats = SgxReadStats()
+        restored = frame_from_sgx_bytes(
+            frame_to_sgx_v2_bytes(frame), columns=("timestamps",), stats=stats
+        )
+        assert stats.payload_bytes_verified == stats.payload_bytes_total
+        assert stats.columns_skipped == 4  # 2 servers x 2 day chunks
+        assert np.isnan(restored.series("srv-0").values).all()
+
+
+class TestServerPushdown:
+    """Server filtering skips excluded servers' chunks at the byte level."""
+
+    def test_allow_list_filters_servers(self):
+        data = frame_to_sgx_bytes(build_frame(n_servers=3))
+        part = frame_from_sgx_bytes(data, servers=("srv-0", "srv-2"))
+        assert part.server_ids() == ["srv-0", "srv-2"]
+
+    def test_predicate_filters_on_metadata(self):
+        data = frame_to_sgx_bytes(build_frame(n_servers=6))
+        part = frame_from_sgx_bytes(data, predicate=lambda md: md.engine == "mysql")
+        assert part.server_ids() == ["srv-1", "srv-4"]
+
+    def test_excluded_servers_chunks_never_verified(self):
+        frame = multi_day_frame(n_servers=4, n_days=3)
+        stats = SgxReadStats()
+        frame_from_sgx_bytes(frame_to_sgx_bytes(frame), servers=("srv-0",), stats=stats)
+        assert stats.servers_seen == 4
+        assert stats.servers_skipped == 3
+        assert stats.chunks_pruned == 9  # 3 excluded servers x 3 day chunks
+        assert stats.payload_bytes_verified == stats.payload_bytes_total // 4
+
+    def test_corruption_in_excluded_server_is_never_touched(self):
+        # The strongest possible "never read" proof: damage an excluded
+        # server's payload and watch the filtered read not notice.
+        frame = build_frame(n_servers=3, points=12)
+        data = bytearray(frame_to_sgx_bytes(frame))
+        data[-4] ^= 0xFF  # last server's values buffer
+        with pytest.raises(ColumnarFormatError):
+            frame_from_sgx_bytes(bytes(data))
+        part = frame_from_sgx_bytes(bytes(data), servers=("srv-0", "srv-1"))
+        assert part.server_ids() == ["srv-0", "srv-1"]
+
+    def test_filter_composes_with_time_range(self):
+        frame = multi_day_frame(n_servers=3, n_days=7)
+        part = frame_from_sgx_bytes(
+            frame_to_sgx_bytes(frame),
+            start_minute=1440,
+            end_minute=2880,
+            servers=("srv-1",),
+        )
+        assert part.server_ids() == ["srv-1"]
+        assert part.series("srv-1") == frame.series("srv-1").slice(1440, 2880)
+
+    def test_unknown_server_filter_yields_empty_frame(self):
+        data = frame_to_sgx_bytes(build_frame())
+        assert len(frame_from_sgx_bytes(data, servers=("nope",))) == 0
+
+
+class TestColumnProjection:
+    """v3 per-column CRCs: unprojected buffers are neither decoded nor
+    checksummed."""
+
+    def test_timestamps_only_read_halves_verified_bytes(self):
+        frame = multi_day_frame(n_servers=2, n_days=3)
+        stats = SgxReadStats()
+        frame_from_sgx_bytes(frame_to_sgx_bytes(frame), columns=("timestamps",), stats=stats)
+        assert stats.payload_bytes_verified == stats.payload_bytes_total // 2
+        assert stats.columns_skipped == 6  # 2 servers x 3 day chunks
+
+    def test_unprojected_values_are_nan(self):
+        frame = build_frame(n_servers=2)
+        restored = frame_from_sgx_bytes(
+            frame_to_sgx_bytes(frame), columns=("timestamps",)
+        )
+        for server_id in restored.server_ids():
+            series = restored.series(server_id)
+            assert np.array_equal(series.timestamps, frame.series(server_id).timestamps)
+            assert np.isnan(series.values).all()
+
+    def test_corrupt_values_buffer_invisible_to_timestamps_only_read(self):
+        frame = build_frame(n_servers=1, points=12)
+        data = bytearray(frame_to_sgx_bytes(frame))
+        data[-4] ^= 0xFF  # inside the values buffer
+        with pytest.raises(ColumnarFormatError):
+            frame_from_sgx_bytes(bytes(data))
+        part = frame_from_sgx_bytes(bytes(data), columns=("timestamps",))
+        assert np.array_equal(part.series("srv-0").timestamps, frame.series("srv-0").timestamps)
+
+    def test_corrupt_timestamps_detected_even_under_projection(self):
+        frame = build_frame(n_servers=1, points=12)
+        data = bytearray(frame_to_sgx_bytes(frame))
+        # First payload byte of the single server's first chunk is a
+        # timestamps byte; the projected read must still checksum it.
+        data[len(data) - 12 * 16] ^= 0xFF
+        with pytest.raises(ColumnarFormatError, match="checksum"):
+            frame_from_sgx_bytes(bytes(data), columns=("timestamps",))
+
+    def test_full_projection_equals_default(self):
+        frame = build_frame()
+        data = frame_to_sgx_bytes(frame)
+        assert (
+            frame_from_sgx_bytes(data, columns=("timestamps", "values")).content_hash()
+            == frame_from_sgx_bytes(data).content_hash()
+        )
+
+    def test_values_only_projection_rejected(self):
+        data = frame_to_sgx_bytes(build_frame())
+        with pytest.raises(ValueError, match="timestamps"):
+            frame_from_sgx_bytes(data, columns=("values",))
+
+    def test_unknown_column_rejected(self):
+        data = frame_to_sgx_bytes(build_frame())
+        with pytest.raises(ValueError, match="unknown column"):
+            frame_from_sgx_bytes(data, columns=("timestamps", "cpu"))
+
+
+class TestStreamingScan:
+    """scan_sgx_bytes: lazy per-server iteration over verified structure."""
+
+    def test_scan_yields_all_servers_in_order(self):
+        frame = build_frame(n_servers=3)
+        scanned = list(columnar.scan_sgx_bytes(frame_to_sgx_bytes(frame)))
+        assert [metadata.server_id for metadata, _series in scanned] == frame.server_ids()
+        for metadata, series in scanned:
+            assert series == frame.series(metadata.server_id)
+
+    def test_scan_is_lazy_per_server(self):
+        # Abandoning the scan after the first server must leave the later
+        # servers' payloads untouched -- corrupt them to prove it.
+        frame = build_frame(n_servers=3, points=12)
+        data = bytearray(frame_to_sgx_bytes(frame))
+        data[-4] ^= 0xFF  # damage the last server's payload
+        scan = columnar.scan_sgx_bytes(bytes(data))
+        metadata, series = next(scan)
+        assert metadata.server_id == "srv-0"
+        scan.close()
+
+    def test_scan_verifies_structure_before_first_yield(self):
+        frame = build_frame(n_servers=3)
+        data = bytearray(frame_to_sgx_bytes(frame))
+        data[HEADER_BYTES + 3] ^= 0x01  # dictionary tamper
+        scan = columnar.scan_sgx_bytes(bytes(data))
+        with pytest.raises(ColumnarFormatError, match="structure checksum"):
+            next(scan)
+
+    def test_duplicate_server_records_rejected(self):
+        # Hand-assemble a v3 file holding the same server twice with
+        # internally consistent CRCs; the reader must refuse it.
+        def packed(text):
+            encoded = text.encode()
+            return struct.pack("<H", len(encoded)) + encoded
+
+        ts = np.arange(0, 60, 5, dtype="<i8")
+        vs = np.zeros(ts.shape[0], dtype="<f8")
+        table = columnar._CHUNK_HEADER_V3.pack(
+            ts.shape[0], int(ts[0]), int(ts[-1]),
+            zlib.crc32(ts.tobytes()), zlib.crc32(vs.tobytes()),
+        )
+        record = packed("srv-0") + columnar._SERVER_FIXED.pack(0, 1, 2, 0, 0, 60, 1) + table
+        payload = ts.tobytes() + vs.tobytes()
+        dict_section = packed("r") + packed("e") + packed("")
+        structure_crc = zlib.crc32(record, zlib.crc32(record, zlib.crc32(dict_section)))
+        body = dict_section + record + payload + record + payload
+        header = columnar._HEADER.pack(
+            MAGIC, 3, 0, 5, 2, 3, HEADER_BYTES + len(body), structure_crc
+        )
+        data = header + struct.pack("<I", zlib.crc32(header)) + body
+        with pytest.raises(ColumnarFormatError, match="duplicate"):
+            frame_from_sgx_bytes(data)
 
 
 class TestBufferHandling:

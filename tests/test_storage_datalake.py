@@ -228,7 +228,8 @@ class TestFormatNegotiation:
         store.write_extract(key, small_frame(), fmt="csv")
         csv_size = store.extract_size_bytes(key)
         store.write_extract(key, small_frame(), fmt="sgx", keep_other_formats=True)
-        assert store.extract_size_bytes(key) != csv_size
+        sgx_size = (store.root / "r0" / key.filename("sgx")).stat().st_size
+        assert store.extract_size_bytes(key) == sgx_size  # .sgx preferred
         assert store.extract_size_bytes(key, fmt="csv") == csv_size
 
     def test_delete_removes_all_formats(self, tmp_path):

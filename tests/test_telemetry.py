@@ -196,3 +196,25 @@ class TestRawStoreAndExtraction:
         payload = report.as_dict()
         assert payload["region"] == "region-0"
         assert payload["extracted_points"] > 0
+        assert payload["verified"] is False
+
+    def test_extraction_readback_verification(self, raw_setup):
+        _, _, store = raw_setup
+        lake = DataLakeStore(write_format="sgx")
+        report = LoadExtractionQuery(store, lake).extract_week("region-0", 0, verify=True)
+        assert report.verified
+        assert report.servers > 0
+
+    def test_extraction_verification_detects_lost_write(self, raw_setup):
+        from repro.telemetry.extraction import ExtractionVerificationError
+
+        _, _, store = raw_setup
+
+        class LossyLake(DataLakeStore):
+            def write_extract(self, key, frame, **kwargs):
+                trimmed = frame.select(frame.server_ids()[:-1])  # drop one server
+                return super().write_extract(key, trimmed, **kwargs)
+
+        lake = LossyLake(write_format="sgx")
+        with pytest.raises(ExtractionVerificationError, match="did not read back"):
+            LoadExtractionQuery(store, lake).extract_week("region-0", 0, verify=True)
