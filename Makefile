@@ -1,8 +1,8 @@
 # Convenience targets mirroring .github/workflows/ci.yml.
 
-.PHONY: ci hygiene lint test bench-smoke fleet-demo
+.PHONY: ci hygiene lint typecheck test bench-smoke bench-baseline fleet-demo
 
-## Run every CI gate locally (hygiene + lint + tests + benchmark smoke).
+## Run every CI gate locally (hygiene + lint + typecheck + tests + bench baseline).
 ci:
 	bash scripts/ci.sh
 
@@ -16,13 +16,23 @@ hygiene:
 lint:
 	ruff check .
 
+## Mypy over the typed API surface (requires mypy; CI installs it).
+typecheck:
+	python -m mypy src/repro/storage src/repro/serving
+
 ## Full test suite.
 test:
 	python -m pytest -x -q
 
 ## Quick benchmark smoke: the jobs CI runs on every PR.
 bench-smoke:
-	python -m pytest benchmarks -q -k "classification or fig12a or columnar or serving or query"
+	python -m pytest benchmarks -q -k "classification or fig12a or columnar or serving or query or aggregates"
+
+## Benchmark smoke + regression gate against the committed BENCH_seed.json.
+bench-baseline:
+	python -m pytest benchmarks -q -k "classification or fig12a or columnar or serving or query or aggregates" \
+		--bench-json BENCH_current.json
+	python scripts/bench_baseline.py BENCH_current.json
 
 ## Fleet orchestrator demo: cold + warm-cache run over a synthetic fleet.
 fleet-demo:

@@ -10,6 +10,7 @@ what is being reproduced, not absolute numbers.
 
 from __future__ import annotations
 
+import json
 import sys
 from pathlib import Path
 
@@ -21,6 +22,49 @@ from bench_utils import REGION_SIZES
 from repro.telemetry.fleet import default_fleet_spec, sql_database_fleet_spec
 from repro.telemetry.generator import WorkloadGenerator
 from repro.timeseries.frame import LoadFrame
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json",
+        default=None,
+        metavar="PATH",
+        help=(
+            "Write the ratios benchmarks assert on (via the record_ratio "
+            "fixture) to PATH as JSON, for baseline comparison with "
+            "scripts/bench_baseline.py."
+        ),
+    )
+
+
+_RATIO_STASH = pytest.StashKey()
+
+
+@pytest.fixture
+def record_ratio(request):
+    """Record a named, deterministic benchmark ratio for the baseline gate.
+
+    Benchmarks call ``record_ratio(name, value, floor=...)`` for each ratio
+    they assert on (bytes saved, speedups with stable denominators, ...).
+    With ``--bench-json PATH`` the collected ratios are written as JSON at
+    session end; ``scripts/bench_baseline.py`` compares such a file against
+    the committed ``BENCH_seed.json`` and fails on regressions.
+    """
+    ratios = request.config.stash.setdefault(_RATIO_STASH, {})
+
+    def record(name: str, value: float, *, floor: float) -> None:
+        ratios[name] = {"value": float(value), "floor": float(floor)}
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = session.config.getoption("--bench-json")
+    if not path:
+        return
+    ratios = session.config.stash.get(_RATIO_STASH, {})
+    payload = {"ratios": {name: ratios[name] for name in sorted(ratios)}}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture(scope="session")

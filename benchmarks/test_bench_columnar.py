@@ -96,7 +96,9 @@ def test_columnar_roundtrip_is_lossless(tmp_path_factory):
     assert lake.read_extract_text(key) == csv_text_before
 
 
-def test_columnar_partial_read_prunes_within_server(benchmark, tmp_path_factory):
+def test_columnar_partial_read_prunes_within_server(
+    benchmark, tmp_path_factory, record_ratio
+):
     """Format v2: a 1-day read of a 7-day extract verifies a fraction of
     the payload bytes, because per-day chunks let zone maps prune inside
     each server, not just across servers."""
@@ -164,6 +166,7 @@ def test_columnar_partial_read_prunes_within_server(benchmark, tmp_path_factory)
         f"1-day read verified only {ratio:.1f}x fewer payload bytes than a full "
         f"read (required >= {MIN_PRUNED_BYTES_RATIO}x)"
     )
+    record_ratio("columnar_chunk_prune_bytes", ratio, floor=MIN_PRUNED_BYTES_RATIO)
     assert one_day.total_points() < full.total_points()
 
 

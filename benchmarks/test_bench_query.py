@@ -46,7 +46,9 @@ def _best_of(n: int, fn) -> float:
     return best
 
 
-def test_query_pushdown_verifies_fraction_of_payload(benchmark, tmp_path_factory):
+def test_query_pushdown_verifies_fraction_of_payload(
+    benchmark, tmp_path_factory, record_ratio
+):
     lake = _query_lake(tmp_path_factory)
     region = "region-0"
     # (Timing fairness: each _best_of below runs 3 rounds and keeps the
@@ -123,9 +125,11 @@ def test_query_pushdown_verifies_fraction_of_payload(benchmark, tmp_path_factory
         f"selective query verified only {ratio:.1f}x fewer payload bytes than a "
         f"full read (required >= {MIN_PUSHDOWN_BYTES_RATIO}x)"
     )
+    record_ratio("query_pushdown_bytes", ratio, floor=MIN_PUSHDOWN_BYTES_RATIO)
     # Dropping the values column halves the verified bytes again (per-column
-    # CRCs, format v3).
+    # CRCs, format v3+).
     assert projected_ratio >= 1.9
+    record_ratio("query_projection_bytes", projected_ratio, floor=1.9)
     # And the answers agree: pushdown changes cost, not content.
     assert pushed.frame.content_hash() == (
         full.frame.filter(

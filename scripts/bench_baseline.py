@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Compare a benchmark-ratio JSON against the committed baseline.
+
+The benchmark smoke run writes the ratios its assertions gate on (bytes
+saved by pushdown, pruning, aggregation) via::
+
+    python -m pytest benchmarks -q -k "..." --bench-json BENCH_<sha>.json
+
+This script compares such a file against the committed ``BENCH_seed.json``
+and exits non-zero when any baseline ratio regressed by more than the
+tolerance (default 30%) or disappeared from the run.  New ratios absent
+from the baseline are reported but do not fail -- they start gating once
+a refreshed baseline is committed.
+
+Usage::
+
+    python scripts/bench_baseline.py BENCH_<sha>.json [--baseline BENCH_seed.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parents[1] / "BENCH_seed.json"
+
+
+def load_ratios(path: Path) -> dict[str, dict[str, float]]:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        sys.exit(f"error: cannot read ratio file {path}: {exc}")
+    ratios = payload.get("ratios")
+    if not isinstance(ratios, dict):
+        sys.exit(f"error: {path} has no 'ratios' mapping")
+    return ratios
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=Path, help="ratio JSON from this run")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="committed baseline to compare against (default: BENCH_seed.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional regression per ratio (default: 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_ratios(args.baseline)
+    current = load_ratios(args.current)
+
+    failures: list[str] = []
+    width = max((len(name) for name in {*baseline, *current}), default=4) + 2
+    print(f"{'ratio'.ljust(width)}{'baseline':>10}{'current':>10}{'change':>9}  status")
+    for name in sorted({*baseline, *current}):
+        base = baseline.get(name)
+        now = current.get(name)
+        if now is None:
+            failures.append(f"{name}: present in baseline but missing from this run")
+            print(f"{name.ljust(width)}{base['value']:>10.2f}{'--':>10}{'--':>9}  MISSING")
+            continue
+        if base is None:
+            print(f"{name.ljust(width)}{'--':>10}{now['value']:>10.2f}{'--':>9}  new (not gated)")
+            continue
+        change = now["value"] / base["value"] - 1.0
+        ok = now["value"] >= base["value"] * (1.0 - args.tolerance)
+        print(
+            f"{name.ljust(width)}{base['value']:>10.2f}{now['value']:>10.2f}"
+            f"{change:>+8.0%}  {'ok' if ok else 'REGRESSED'}"
+        )
+        if not ok:
+            failures.append(
+                f"{name}: {base['value']:.2f} -> {now['value']:.2f} "
+                f"({change:+.0%}, allowed -{args.tolerance:.0%})"
+            )
+
+    if failures:
+        print("\nbenchmark baseline regressions:", file=sys.stderr)
+        for line in failures:
+            print(f"  - {line}", file=sys.stderr)
+        return 1
+    print("\nall benchmark ratios within tolerance of the baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,7 +2,7 @@
 # Local mirror of .github/workflows/ci.yml: run the same gates CI runs,
 # from a clean checkout, with no PYTHONPATH tweaks needed.
 #
-# Tools CI installs but a local environment may lack (ruff,
+# Tools CI installs but a local environment may lack (ruff, mypy,
 # pytest-timeout) are detected and skipped with a notice, so the script
 # always exercises at least everything the local environment can.
 set -euo pipefail
@@ -27,16 +27,29 @@ else
 fi
 
 echo
+echo "== typecheck (mypy: storage + serving) =="
+if python -c "import mypy" >/dev/null 2>&1; then
+    python -m mypy src/repro/storage src/repro/serving
+else
+    echo "mypy not installed locally; skipping (the CI typecheck job runs it)"
+fi
+
+echo
 echo "== test suite =="
 python -m pytest tests -x -q
 
 echo
-echo "== benchmark smoke =="
+echo "== benchmark smoke + baseline gate =="
 timeout_flag=""
 if python -c "import pytest_timeout" >/dev/null 2>&1; then
     timeout_flag="--timeout=300"
 fi
-python -m pytest benchmarks -q -k "classification or fig12a or columnar or serving or query" ${timeout_flag}
+bench_json="$(mktemp -t bench-XXXXXX.json)"
+trap 'rm -f "${bench_json}"' EXIT
+python -m pytest benchmarks -q \
+    -k "classification or fig12a or columnar or serving or query or aggregates" \
+    ${timeout_flag} --bench-json "${bench_json}"
+python scripts/bench_baseline.py "${bench_json}"
 
 echo
 echo "All CI-equivalent checks passed."

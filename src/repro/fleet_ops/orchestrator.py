@@ -35,7 +35,7 @@ import hashlib
 import shutil
 import tempfile
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any
 
@@ -168,6 +168,35 @@ def _execute_unit(task: _UnitTask) -> FleetUnitOutcome:
     frame = answer.frame
     ingest_seconds = time.perf_counter() - ingest_started
 
+    # Roll up the shard's load through the aggregate query path: on .sgx
+    # v4 lakes fully covered chunks reduce from chunk-table statistics
+    # without their value buffers ever being decoded.  Best-effort -- a
+    # lake that cannot answer it leaves the summary empty rather than
+    # failing a unit whose row read succeeded.
+    load: dict[str, Any] = {}
+    try:
+        agg = lake.query(
+            replace(task.query, aggregates=("count", "mean", "max"), group_by=("day",))
+        )
+    except (ExtractNotFoundError, ValueError):
+        pass
+    else:
+        groups = agg.aggregates or {}
+        rows = sum(int(g["count"]) for g in groups.values())
+        load = {
+            "rows": rows,
+            "days": len(groups),
+            "mean_load": (
+                sum(int(g["count"]) * float(g["mean"]) for g in groups.values()) / rows
+                if rows
+                else 0.0
+            ),
+            "peak_load": max((float(g["max"]) for g in groups.values()), default=0.0),
+            "chunks_answered_from_stats": agg.stats.chunks_answered_from_stats,
+            "bytes_decoded_avoided": agg.stats.bytes_decoded_avoided,
+            "payload_bytes_verified": agg.stats.payload_bytes_verified,
+        }
+
     incidents = IncidentManager()
     pipeline = SeagullPipeline(
         task.config,
@@ -201,6 +230,7 @@ def _execute_unit(task: _UnitTask) -> FleetUnitOutcome:
         wall_seconds=time.perf_counter() - started,
         serving=serving,
         scan=answer.stats.as_dict(),
+        load=load,
     )
     if cache is not None and result.succeeded:
         cache.put(unit_key, outcome.to_payload())

@@ -42,6 +42,12 @@ class FleetUnitOutcome:
     #: servers skipped, bytes CRC-verified vs stored); empty when the unit
     #: never ran a query (failed before ingestion).
     scan: dict[str, Any] = field(default_factory=dict)
+    #: Load rollup of the unit's shard, answered through the aggregate
+    #: query path (``.sgx`` v4 chunks fully inside the shard are reduced
+    #: from chunk-table statistics, never decoded): rows, days covered,
+    #: fleet-weighted mean and peak load, plus the decode-avoidance
+    #: counters.  Empty when the unit failed before ingestion.
+    load: dict[str, Any] = field(default_factory=dict)
 
     def as_cache_hit(self, wall_seconds: float) -> "FleetUnitOutcome":
         """This outcome as served from the unit cache on a later run.
@@ -66,6 +72,7 @@ class FleetUnitOutcome:
             from_unit_cache=True,
             serving=dict(self.serving),
             scan=dict(self.scan),
+            load=dict(self.load),
         )
 
     def to_payload(self) -> dict[str, Any]:
@@ -85,6 +92,7 @@ class FleetUnitOutcome:
             "wall_seconds": self.wall_seconds,
             "serving": dict(self.serving),
             "scan": dict(self.scan),
+            "load": dict(self.load),
         }
 
     @classmethod
@@ -106,6 +114,7 @@ class FleetUnitOutcome:
             wall_seconds=float(payload["wall_seconds"]),
             serving=dict(payload.get("serving") or {}),
             scan=dict(payload.get("scan") or {}),
+            load=dict(payload.get("load") or {}),
         )
 
 
@@ -283,6 +292,49 @@ class FleetReport:
         )
         return rollup
 
+    def load_rollup(self) -> dict[str, Any]:
+        """Fleet-wide load summary, routed through the aggregate path.
+
+        Each unit's ``load`` entry was answered by an aggregate
+        :class:`~repro.storage.query.ExtractQuery` -- on ``.sgx`` v4
+        lakes fully covered chunks are reduced from chunk-table
+        statistics without their value buffers ever being decoded.  The
+        fleet mean is sample-weighted (``sum(rows * mean) / sum(rows)``),
+        the peak is the max of unit peaks, and the decode-avoidance
+        counters say how many payload bytes the statistics path saved
+        across the whole fleet.
+        """
+        rollup: dict[str, Any] = {
+            "units_with_load": 0,
+            "rows": 0,
+            "days": 0,
+            "mean_load": 0.0,
+            "peak_load": 0.0,
+            "chunks_answered_from_stats": 0,
+            "bytes_decoded_avoided": 0,
+            "payload_bytes_verified": 0,
+        }
+        weighted_sum = 0.0
+        for outcome in self.outcomes:
+            load = outcome.load
+            if not load:
+                continue
+            rollup["units_with_load"] += 1
+            rows = int(load.get("rows", 0))
+            rollup["rows"] += rows
+            rollup["days"] += int(load.get("days", 0))
+            weighted_sum += rows * float(load.get("mean_load", 0.0))
+            rollup["peak_load"] = max(rollup["peak_load"], float(load.get("peak_load", 0.0)))
+            for counter in (
+                "chunks_answered_from_stats",
+                "bytes_decoded_avoided",
+                "payload_bytes_verified",
+            ):
+                rollup[counter] += int(load.get(counter, 0))
+        if rollup["rows"]:
+            rollup["mean_load"] = weighted_sum / rollup["rows"]
+        return rollup
+
     # ------------------------------------------------------------------ #
     # Serialization and rendering
     # ------------------------------------------------------------------ #
@@ -302,6 +354,7 @@ class FleetReport:
             "cache": self.cache_summary(),
             "serving": self.serving_rollup(),
             "scan": self.scan_rollup(),
+            "load": self.load_rollup(),
             "outcomes": [outcome.to_payload() for outcome in self.outcomes],
         }
 
@@ -355,4 +408,12 @@ class FleetReport:
             f"payload bytes CRC-verified "
             f"({100.0 * scan['verified_fraction']:.0f}%)"
         )
+        load = self.load_rollup()
+        if load["units_with_load"]:
+            lines.append(
+                f"Aggregate: {load['rows']} rows over {load['days']} server-days, "
+                f"mean load {load['mean_load']:.1f}, peak {load['peak_load']:.1f} "
+                f"({load['chunks_answered_from_stats']} chunks answered from stats, "
+                f"{load['bytes_decoded_avoided']} payload bytes never decoded)"
+            )
         return "\n".join(lines)

@@ -18,6 +18,12 @@
   :class:`~repro.storage.query.ScanStats`.  ``DataLakeStore.query`` /
   ``.scan`` are the one read path; server filters and column projections
   are pushed down into the ``.sgx`` reader.
+* :mod:`~repro.storage.aggregate` -- the aggregate-query merge core:
+  :class:`~repro.storage.aggregate.AggregateAccumulator` folds ``.sgx``
+  v4 chunk-table statistics, decoded slices and CSV rows into one exact
+  answer (pairwise Welford merge for mean/variance), which is what lets
+  ``aggregates=(...)`` queries skip decoding value buffers entirely for
+  fully covered chunks.
 * :mod:`~repro.storage.migrate` -- in-place lake conversion between the
   CSV and ``.sgx`` extract formats (the ``convert`` CLI's engine).
 * :class:`~repro.storage.artifacts.ArtifactStore` -- a content-addressed
@@ -25,17 +31,24 @@
   what lets fleet re-runs skip recomputation on unchanged extracts.
 """
 
+from repro.storage.aggregate import (
+    AGGREGATE_GROUP_KEYS,
+    AGGREGATE_REDUCTIONS,
+    AggregateAccumulator,
+)
 from repro.storage.artifacts import ArtifactCacheStats, ArtifactStore, artifact_key
 from repro.storage.columnar import (
     COLUMNS,
     DEFAULT_CHUNK_MINUTES,
     ColumnarFormatError,
     SgxReadStats,
+    aggregate_sgx_bytes,
     frame_from_sgx_bytes,
     frame_to_sgx_bytes,
     read_frame_sgx,
     scan_sgx_bytes,
     sgx_version,
+    upgrade_sgx_bytes,
     write_frame_sgx,
 )
 from repro.storage.csv_io import read_frame_csv, write_frame_csv
@@ -52,8 +65,13 @@ __all__ = [
     "write_frame_sgx",
     "frame_from_sgx_bytes",
     "frame_to_sgx_bytes",
+    "aggregate_sgx_bytes",
     "scan_sgx_bytes",
     "sgx_version",
+    "upgrade_sgx_bytes",
+    "AGGREGATE_GROUP_KEYS",
+    "AGGREGATE_REDUCTIONS",
+    "AggregateAccumulator",
     "ColumnarFormatError",
     "SgxReadStats",
     "COLUMNS",

@@ -6,7 +6,7 @@ the way the pipeline consumes it -- per-server columns of raw
 little-endian ``int64`` timestamps and ``float64`` CPU values -- so a read
 is a :func:`numpy.frombuffer` over the file bytes instead of a row loop.
 
-Format v3 layout (all integers little-endian)::
+Format v4 layout (all integers little-endian)::
 
     header   magic "SGXF" | version u16 | flags u16 | interval u32
              | n_servers u32 | n_dict u32 | file_length u64
@@ -19,7 +19,9 @@ Format v3 layout (all integers little-endian)::
                backup_start i64 | backup_end i64 | backup_duration u32
                n_chunks u32
                n_chunks x (n_points u64 | min_ts i64 | max_ts i64
-                           | ts_crc u32 | vs_crc u32)
+                           | ts_crc u32 | vs_crc u32
+                           | vs_sum f64 | vs_min f64 | vs_max f64
+                           | vs_sum_sq f64)
                n_chunks payloads, each:
                  timestamps  n_points x i64
                  values      n_points x f64
@@ -39,12 +41,23 @@ further pushdowns ride the same structure (:func:`scan_sgx_bytes`):
   server's chunks are never read, decoded or checksummed;
 * **column projection** -- per-column CRCs (the v3 change) let a
   timestamps-only read skip decoding *and* checksumming every values
-  buffer; unprojected values surface as NaN ("not loaded", never 0.0).
+  buffer; unprojected values surface as NaN ("not loaded", never 0.0);
+* **aggregation pushdown** -- the v4 change: each chunk-table entry also
+  carries pre-aggregates of its values buffer (sum / min / max /
+  sum-of-squares; count and the time bounds were already there), so
+  :func:`aggregate_sgx_bytes` answers count/sum/min/max/mean/variance
+  reductions for any chunk lying fully inside the requested time range
+  *without reading its payload at all* -- only partial-overlap chunks are
+  decoded, and the two sources merge exactly (pairwise moments, see
+  :mod:`repro.storage.aggregate`).
 
-Format v2 (one joint payload CRC per chunk) and v1 (one chunk per
-server, header and payload inline) remain fully readable; on those,
-column projection still skips the decode but must checksum the whole
-payload -- the joint CRC cannot vouch for one column alone.
+Format v3 (per-column CRCs, no pre-aggregates), v2 (one joint payload
+CRC per chunk) and v1 (one chunk per server, header and payload inline)
+remain fully readable; on v1/v2, column projection still skips the
+decode but must checksum the whole payload -- the joint CRC cannot vouch
+for one column alone -- and on anything below v4 value reductions fall
+back to decoding (a count-only aggregate is still answered from chunk
+headers, which every version carries).
 
 Zone maps are only trustworthy for sorted data: the writer refuses
 non-strictly-increasing timestamps (they would round-trip with a wrong
@@ -75,9 +88,9 @@ from repro.timeseries.series import LoadSeries
 
 MAGIC = b"SGXF"
 #: Version the writer emits.
-VERSION = 3
+VERSION = 4
 #: Versions the reader accepts.
-SUPPORTED_VERSIONS = (1, 2, 3)
+SUPPORTED_VERSIONS = (1, 2, 3, 4)
 
 #: Per-point column buffers of the format, in stored order.  A column
 #: projection is a subset of these; ``timestamps`` is the series index
@@ -109,6 +122,11 @@ _CHUNK_HEADER = struct.Struct("<QqqI")
 #: one CRC per column buffer, so a projected read can verify only the
 #: buffers it actually ingests.
 _CHUNK_HEADER_V3 = struct.Struct("<QqqII")
+#: v4 per-chunk header: the v3 fields plus pre-aggregates of the values
+#: buffer (sum | min | max | sum-of-squares), so aggregate queries can
+#: answer fully covered chunks without reading their payload.  Covered by
+#: the structure CRC like every other chunk-header field.
+_CHUNK_HEADER_V4 = struct.Struct("<QqqIIdddd")
 #: v1 per-server chunk: region_idx | engine_idx | true_class_idx
 #: | backup_start | backup_end | backup_duration | n_points | min_ts
 #: | max_ts | payload_crc
@@ -143,6 +161,12 @@ class SgxReadStats:
     of the same file.  A filtered-out server's chunks count as both seen
     and pruned; ``columns_skipped`` counts column buffers whose decode
     (and, from format v3, whose checksum) a projection skipped.
+
+    Aggregate walks (:func:`aggregate_sgx_bytes`) additionally count
+    ``chunks_answered_from_stats`` -- chunks whose reductions came from
+    the stored chunk-table pre-aggregates -- and ``bytes_decoded_avoided``,
+    the payload bytes of those chunks, which were never read, decoded or
+    checksummed (their statistics are vouched for by the structure CRC).
     """
 
     chunks_seen: int = 0
@@ -150,6 +174,8 @@ class SgxReadStats:
     servers_seen: int = 0
     servers_skipped: int = 0
     columns_skipped: int = 0
+    chunks_answered_from_stats: int = 0
+    bytes_decoded_avoided: int = 0
     payload_bytes_total: int = 0
     payload_bytes_verified: int = 0
 
@@ -194,7 +220,7 @@ def _split_at_boundaries(
 
 
 def frame_to_sgx_bytes(frame: LoadFrame, chunk_minutes: int = DEFAULT_CHUNK_MINUTES) -> bytes:
-    """Serialise ``frame`` into ``.sgx`` (format v3) bytes.
+    """Serialise ``frame`` into ``.sgx`` (format v4) bytes.
 
     ``chunk_minutes`` is the chunking policy: each server's series is
     split at absolute multiples of it (default: day boundaries) into
@@ -234,10 +260,23 @@ def frame_to_sgx_bytes(frame: LoadFrame, chunk_minutes: int = DEFAULT_CHUNK_MINU
             vs_bytes = chunk_vs.tobytes()
             if n_points:
                 min_ts, max_ts = int(chunk_ts[0]), int(chunk_ts[-1])
+                vs_sum = float(chunk_vs.sum())
+                vs_min = float(chunk_vs.min())
+                vs_max = float(chunk_vs.max())
+                vs_sum_sq = float(np.dot(chunk_vs, chunk_vs))
             else:
                 min_ts, max_ts = _EMPTY_MIN_TS, _EMPTY_MAX_TS
-            chunk_table += _CHUNK_HEADER_V3.pack(
-                n_points, min_ts, max_ts, zlib.crc32(ts_bytes), zlib.crc32(vs_bytes)
+                vs_sum = vs_min = vs_max = vs_sum_sq = 0.0
+            chunk_table += _CHUNK_HEADER_V4.pack(
+                n_points,
+                min_ts,
+                max_ts,
+                zlib.crc32(ts_bytes),
+                zlib.crc32(vs_bytes),
+                vs_sum,
+                vs_min,
+                vs_max,
+                vs_sum_sq,
             )
             payloads.append(ts_bytes + vs_bytes)
         record_header = (
@@ -377,8 +416,10 @@ def _parse_structure(view: memoryview):
     per server, where ``meta_fields`` is ``(region_idx, engine_idx,
     true_class_idx, backup_start, backup_end, backup_duration)`` and
     ``chunks`` is a list of ``(n_points, min_ts, max_ts, ts_crc, vs_crc,
-    payload_offset)`` entries -- for v1/v2 chunks ``ts_crc`` holds the
-    single joint payload CRC and ``vs_crc`` is ``None``.  It
+    payload_offset, vstats)`` entries -- for v1/v2 chunks ``ts_crc``
+    holds the single joint payload CRC and ``vs_crc`` is ``None``;
+    ``vstats`` is the v4 pre-aggregate tuple ``(sum, min, max, sum_sq)``
+    of the values buffer, or ``None`` below v4.  It
     bounds-checks every record, and on exhaustion verifies that the
     records exactly fill the file and that the accumulated structure CRC
     matches the header -- the single walk both the reader and the
@@ -411,7 +452,7 @@ def _parse_structure(view: memoryview):
                 payload_offset = position + _CHUNK_FIXED_V1.size
                 seen_crc = zlib.crc32(view[record_start:payload_offset], seen_crc)
                 n_points = fields[6]
-                chunks = [(n_points, fields[7], fields[8], fields[9], None, payload_offset)]
+                chunks = [(n_points, fields[7], fields[8], fields[9], None, payload_offset, None)]
                 position = payload_offset + n_points * _POINT_BYTES
                 if position > total:
                     raise ColumnarFormatError(
@@ -426,7 +467,12 @@ def _parse_structure(view: memoryview):
                     )
                 fields = _SERVER_FIXED.unpack_from(view, position)
                 n_chunks = fields[6]
-                chunk_struct = _CHUNK_HEADER_V3 if version >= 3 else _CHUNK_HEADER
+                if version >= 4:
+                    chunk_struct = _CHUNK_HEADER_V4
+                elif version == 3:
+                    chunk_struct = _CHUNK_HEADER_V3
+                else:
+                    chunk_struct = _CHUNK_HEADER
                 table_offset = position + _SERVER_FIXED.size
                 table_end = table_offset + n_chunks * chunk_struct.size
                 if table_end > total:
@@ -441,12 +487,18 @@ def _parse_structure(view: memoryview):
                     entry = chunk_struct.unpack_from(
                         view, table_offset + index * chunk_struct.size
                     )
-                    if version >= 3:
+                    vstats = None
+                    if version >= 4:
+                        n_points, min_ts, max_ts, ts_crc, vs_crc = entry[:5]
+                        vstats = entry[5:9]
+                    elif version == 3:
                         n_points, min_ts, max_ts, ts_crc, vs_crc = entry
                     else:
                         n_points, min_ts, max_ts, ts_crc = entry
                         vs_crc = None
-                    chunks.append((n_points, min_ts, max_ts, ts_crc, vs_crc, payload_offset))
+                    chunks.append(
+                        (n_points, min_ts, max_ts, ts_crc, vs_crc, payload_offset, vstats)
+                    )
                     payload_offset += n_points * _POINT_BYTES
                 position = payload_offset
                 if position > total:
@@ -587,7 +639,7 @@ def scan_sgx_bytes(
             continue
         kept_ts: list[np.ndarray] = []
         kept_vs: list[np.ndarray] = []
-        for n_points, min_ts, max_ts, ts_crc, vs_crc, payload_offset in chunks:
+        for n_points, min_ts, max_ts, ts_crc, vs_crc, payload_offset, _vstats in chunks:
             payload_bytes = n_points * _POINT_BYTES
             if stats is not None:
                 stats.chunks_seen += 1
@@ -738,6 +790,246 @@ def read_frame_sgx(
 
 
 # --------------------------------------------------------------------- #
+# Aggregation
+# --------------------------------------------------------------------- #
+
+
+def aggregate_sgx_bytes(
+    data,
+    accumulator,
+    start_minute: int | None = None,
+    end_minute: int | None = None,
+    *,
+    servers: Collection[str] | None = None,
+    predicate: Callable[[ServerMetadata], bool] | None = None,
+    stats: SgxReadStats | None = None,
+) -> None:
+    """Fold ``.sgx`` bytes into an :class:`~repro.storage.aggregate.AggregateAccumulator`.
+
+    The decode-free read path: the structure walk is verified exactly as
+    in :func:`scan_sgx_bytes`, then each surviving chunk is answered from
+    its chunk-table statistics whenever that is exact -- the chunk lies
+    fully inside the time range, does not straddle a day boundary when
+    grouping by day, and carries the statistics the reductions need (v4
+    value pre-aggregates, or just ``n_points`` for count-only
+    aggregates, which every version stores).  Only partial-overlap
+    chunks (and stat-less chunks of pre-v4 files) are decoded, CRC-
+    verified and folded sample-by-sample; the pairwise merge inside the
+    accumulator makes mixing the two sources exact.
+
+    Chunks answered from statistics never have their payload read or
+    checksummed -- their integrity rests on the structure CRC, which
+    covers every chunk-table field.  ``stats`` counts them in
+    ``chunks_answered_from_stats``/``bytes_decoded_avoided``.
+    """
+    view = _as_view(data)
+    version, _interval, dictionary, records = _parse_structure(view)
+    record_list = list(records)
+
+    pruning = start_minute is not None or end_minute is not None
+    range_lo = start_minute if start_minute is not None else MIN_MINUTE
+    range_hi = end_minute if end_minute is not None else MAX_MINUTE
+    allow = frozenset(servers) if servers is not None else None
+    values_needed = accumulator.values_needed
+    by_day = accumulator.by_day
+
+    seen_ids: set[str] = set()
+    for server_id, meta_fields, chunks in record_list:
+        if server_id in seen_ids:
+            raise ColumnarFormatError(
+                f"garbled .sgx extract: duplicate chunk for server {server_id!r}"
+            )
+        seen_ids.add(server_id)
+        (
+            region_idx,
+            engine_idx,
+            true_class_idx,
+            backup_start,
+            backup_end,
+            backup_duration,
+        ) = meta_fields
+        metadata = ServerMetadata(
+            server_id=server_id,
+            region=_dict_lookup(dictionary, region_idx, "region"),
+            engine=_dict_lookup(dictionary, engine_idx, "engine"),
+            default_backup_start=backup_start,
+            default_backup_end=backup_end,
+            backup_duration_minutes=backup_duration,
+            true_class=_dict_lookup(dictionary, true_class_idx, "true class"),
+        )
+        if stats is not None:
+            stats.servers_seen += 1
+        if (allow is not None and server_id not in allow) or (
+            predicate is not None and not predicate(metadata)
+        ):
+            if stats is not None:
+                stats.servers_skipped += 1
+                stats.chunks_seen += len(chunks)
+                stats.chunks_pruned += len(chunks)
+                stats.payload_bytes_total += sum(c[0] for c in chunks) * _POINT_BYTES
+            continue
+        for n_points, min_ts, max_ts, ts_crc, vs_crc, payload_offset, vstats in chunks:
+            payload_bytes = n_points * _POINT_BYTES
+            if stats is not None:
+                stats.chunks_seen += 1
+                stats.payload_bytes_total += payload_bytes
+            if pruning and (n_points == 0 or max_ts < range_lo or min_ts >= range_hi):
+                if stats is not None:
+                    stats.chunks_pruned += 1
+                continue
+            fully_inside = not pruning or (min_ts >= range_lo and max_ts < range_hi)
+            day_compatible = not by_day or (
+                min_ts // MINUTES_PER_DAY == max_ts // MINUTES_PER_DAY
+            )
+            stats_available = not values_needed or vstats is not None
+            if fully_inside and day_compatible and stats_available:
+                # Answered from the chunk table alone: the payload stays
+                # unread; the statistics are vouched for by the already-
+                # verified structure CRC.
+                accumulator.fold_chunk_stats(
+                    server_id,
+                    min_ts // MINUTES_PER_DAY,
+                    n_points,
+                    *(vstats if vstats is not None else (0.0, 0.0, 0.0, 0.0)),
+                )
+                if stats is not None:
+                    stats.chunks_answered_from_stats += 1
+                    stats.bytes_decoded_avoided += payload_bytes
+                continue
+            # Decode path: partial overlap, day-straddling chunk, or a
+            # pre-v4 chunk without value statistics.
+            ts_bytes = 8 * n_points
+            if vs_crc is None:
+                if zlib.crc32(view[payload_offset : payload_offset + payload_bytes]) != ts_crc:
+                    raise ColumnarFormatError(
+                        f"garbled .sgx extract: chunk checksum mismatch for {server_id!r}"
+                    )
+                verified = payload_bytes
+            else:
+                if zlib.crc32(view[payload_offset : payload_offset + ts_bytes]) != ts_crc:
+                    raise ColumnarFormatError(
+                        f"garbled .sgx extract: chunk checksum mismatch for {server_id!r}"
+                    )
+                verified = ts_bytes
+                if values_needed:
+                    if (
+                        zlib.crc32(view[payload_offset + ts_bytes : payload_offset + payload_bytes])
+                        != vs_crc
+                    ):
+                        raise ColumnarFormatError(
+                            f"garbled .sgx extract: chunk checksum mismatch for {server_id!r}"
+                        )
+                    verified = payload_bytes
+            if stats is not None:
+                stats.payload_bytes_verified += verified
+                if not values_needed:
+                    stats.columns_skipped += 1
+            timestamps = np.frombuffer(view, dtype="<i8", count=n_points, offset=payload_offset)
+            values = (
+                np.frombuffer(view, dtype="<f8", count=n_points, offset=payload_offset + ts_bytes)
+                if values_needed
+                else None
+            )
+            if pruning and (min_ts < range_lo or max_ts >= range_hi):
+                lo = int(np.searchsorted(timestamps, range_lo, side="left"))
+                hi = int(np.searchsorted(timestamps, range_hi, side="left"))
+                if lo == hi:
+                    continue
+                timestamps = timestamps[lo:hi]
+                if values is not None:
+                    values = values[lo:hi]
+            accumulator.fold_columns(server_id, timestamps, values)
+
+
+def upgrade_sgx_bytes(data) -> bytes:
+    """Re-encode older-version ``.sgx`` bytes as format v4, preserving
+    every chunk boundary byte-for-byte.
+
+    Payload bytes are copied verbatim and each chunk keeps its exact
+    point span and zone map -- only the chunk-table entries (which gain
+    per-column CRCs below v3 and the v4 value pre-aggregates) and the
+    file header are rewritten.  The source's stored checksums are
+    verified while the values are read, so a damaged file cannot be
+    laundered into a fresh-looking v4 copy.  Already-v4 input is
+    returned unchanged.
+    """
+    view = _as_view(data)
+    version, interval, dictionary, records = _parse_structure(view)
+    if version == VERSION:
+        return bytes(view)
+
+    record_blobs: list[tuple[bytes, list[bytes]]] = []
+    for server_id, meta_fields, chunks in records:
+        chunk_table = bytearray()
+        payloads: list[bytes] = []
+        for n_points, min_ts, max_ts, ts_crc, vs_crc, payload_offset, _vstats in chunks:
+            ts_end = payload_offset + 8 * n_points
+            payload_end = payload_offset + n_points * _POINT_BYTES
+            ts_buf = bytes(view[payload_offset:ts_end])
+            vs_buf = bytes(view[ts_end:payload_end])
+            if vs_crc is None:
+                if zlib.crc32(ts_buf + vs_buf) != ts_crc:
+                    raise ColumnarFormatError(
+                        f"garbled .sgx extract: chunk checksum mismatch for {server_id!r}"
+                    )
+                new_ts_crc = zlib.crc32(ts_buf)
+                new_vs_crc = zlib.crc32(vs_buf)
+            else:
+                if zlib.crc32(ts_buf) != ts_crc or zlib.crc32(vs_buf) != vs_crc:
+                    raise ColumnarFormatError(
+                        f"garbled .sgx extract: chunk checksum mismatch for {server_id!r}"
+                    )
+                new_ts_crc, new_vs_crc = ts_crc, vs_crc
+            if n_points:
+                values = np.frombuffer(vs_buf, dtype="<f8")
+                vs_sum = float(values.sum())
+                vs_min = float(values.min())
+                vs_max = float(values.max())
+                vs_sum_sq = float(np.dot(values, values))
+            else:
+                vs_sum = vs_min = vs_max = vs_sum_sq = 0.0
+            chunk_table += _CHUNK_HEADER_V4.pack(
+                n_points,
+                min_ts,
+                max_ts,
+                new_ts_crc,
+                new_vs_crc,
+                vs_sum,
+                vs_min,
+                vs_max,
+                vs_sum_sq,
+            )
+            payloads.append(ts_buf + vs_buf)
+        record_header = (
+            _packed_string(server_id, "server id")
+            + _SERVER_FIXED.pack(*meta_fields, len(payloads))
+            + bytes(chunk_table)
+        )
+        record_blobs.append((record_header, payloads))
+
+    dict_section = b"".join(_packed_string(text, "dictionary string") for text in dictionary)
+    structure_crc = zlib.crc32(dict_section)
+    for record_header, _payloads in record_blobs:
+        structure_crc = zlib.crc32(record_header, structure_crc)
+    body_parts = [dict_section]
+    for record_header, payloads in record_blobs:
+        body_parts.append(record_header)
+        body_parts.extend(payloads)
+    body = b"".join(body_parts)
+    header = _HEADER.pack(
+        MAGIC,
+        VERSION,
+        0,
+        interval,
+        len(record_blobs),
+        len(dictionary),
+        HEADER_BYTES + len(body),
+        structure_crc,
+    )
+    return header + _HEADER_CRC.pack(zlib.crc32(header)) + body
+
+
+# --------------------------------------------------------------------- #
 # Inspection
 # --------------------------------------------------------------------- #
 
@@ -757,16 +1049,17 @@ def sgx_summary(data) -> dict[str, object]:
     total_points = 0
     for server_id, _meta_fields, chunk_list in record_iter:
         n_servers += 1
-        for n_points, min_ts, max_ts, _ts_crc, _vs_crc, _payload_offset in chunk_list:
+        for n_points, min_ts, max_ts, _ts_crc, _vs_crc, _payload_offset, vstats in chunk_list:
             total_points += n_points
-            chunks.append(
-                {
-                    "server_id": server_id,
-                    "n_points": n_points,
-                    "min_ts": min_ts,
-                    "max_ts": max_ts,
-                }
-            )
+            entry: dict[str, object] = {
+                "server_id": server_id,
+                "n_points": n_points,
+                "min_ts": min_ts,
+                "max_ts": max_ts,
+            }
+            if vstats is not None:
+                entry["vs_sum"], entry["vs_min"], entry["vs_max"], entry["vs_sum_sq"] = vstats
+            chunks.append(entry)
     return {
         "version": version,
         "interval_minutes": interval,

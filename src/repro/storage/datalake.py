@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.storage import columnar, csv_io
+from repro.storage.aggregate import AggregateAccumulator
 from repro.storage.columnar import ColumnarFormatError, SgxReadStats
 
 # Format names and validation live with the query types now; re-exported
@@ -361,6 +362,110 @@ class DataLakeStore:
                 return frame
         return self._read_csv_for_query(key, q, stats)
 
+    def _aggregate_csv(
+        self,
+        key: ExtractKey,
+        q: ExtractQuery,
+        accumulator: AggregateAccumulator,
+        stats: ScanStats | None,
+    ) -> None:
+        """Fold ``key``'s CSV copy into ``accumulator`` (post-parse path).
+
+        CSV extracts carry no chunk statistics, so everything is parsed
+        and folded sample-by-sample -- the answer matches the ``.sgx``
+        path exactly because both fold into the same accumulator algebra.
+        """
+        raw = self._stored_bytes(key, "csv")
+        frame = csv_io.frame_from_csv_text(
+            raw.decode("utf-8"),
+            q.interval_minutes if q.interval_minutes is not None else DEFAULT_INTERVAL_MINUTES,
+        )
+        if stats is not None:
+            stats.payload_bytes_stored += len(raw)
+            stats.payload_bytes_verified += len(raw)
+        allow = set(q.servers) if q.servers is not None else None
+        predicate = q.metadata_predicate()
+        rng = q.time_range() if q.is_ranged else None
+        for server_id, metadata, series in frame.items():
+            if stats is not None:
+                stats.servers_seen += 1
+            if (allow is not None and server_id not in allow) or (
+                predicate is not None and not predicate(metadata)
+            ):
+                if stats is not None:
+                    stats.servers_skipped += 1
+                continue
+            if rng is not None:
+                series = series.slice(*rng)
+            accumulator.fold_columns(server_id, series.timestamps, series.values)
+
+    def _aggregate_one(
+        self,
+        key: ExtractKey,
+        q: ExtractQuery,
+        accumulator: AggregateAccumulator,
+        stats: ScanStats | None,
+    ) -> None:
+        """Fold one stored extract into ``accumulator``, negotiating the
+        format.
+
+        The fold goes into a spawned (empty) accumulator first and is
+        merged only on success: a damaged ``.sgx`` copy discovered
+        mid-walk is discarded wholesale before the CSV fallback re-folds,
+        so no chunk is ever double-counted.
+        """
+        formats = self._resolve_format(key, q.fmt)
+        if stats is not None:
+            stats.extracts_scanned += 1
+        range_lo, range_hi = (q.start_minute, q.end_minute) if q.is_ranged else (None, None)
+        if formats[0] == "sgx":
+            partial = accumulator.spawn()
+            sgx_stats = SgxReadStats()
+            try:
+                columnar.aggregate_sgx_bytes(
+                    self._stored_bytes(key, "sgx"),
+                    partial,
+                    range_lo,
+                    range_hi,
+                    servers=q.servers,
+                    predicate=q.metadata_predicate(),
+                    stats=sgx_stats,
+                )
+            except ColumnarFormatError:
+                if "csv" not in formats:
+                    raise
+            else:
+                accumulator.merge(partial)
+                if stats is not None:
+                    stats.absorb_sgx(sgx_stats)
+                return
+        self._aggregate_csv(key, q, accumulator, stats)
+
+    def _query_aggregate(
+        self, q: ExtractQuery, principal: str | None, stats: ScanStats
+    ) -> QueryResult:
+        """Answer an aggregate query: reductions, no materialised rows.
+
+        Chunks fully inside the time range and server/engine scope are
+        answered from ``.sgx`` v4 chunk-table statistics without their
+        value buffers ever being decoded (``stats`` counts them in
+        ``chunks_answered_from_stats``/``bytes_decoded_avoided``); only
+        partial-overlap chunks, stat-less pre-v4 chunks and CSV extracts
+        are decoded, and the pairwise merge makes mixing the sources
+        exact.  The result's ``aggregates`` maps group-key tuples to the
+        requested reductions; its frame is empty.
+        """
+        assert q.aggregates is not None
+        accumulator = AggregateAccumulator(q.aggregates, q.group_by)
+        for key in self._query_keys(q, principal):
+            self._aggregate_one(key, q, accumulator, stats)
+        empty = LoadFrame(
+            q.interval_minutes if q.interval_minutes is not None else DEFAULT_INTERVAL_MINUTES
+        )
+        return QueryResult(
+            query=q, frame=empty, stats=stats, aggregates=accumulator.results()
+        )
+
     def query(self, q: ExtractQuery, principal: str | None = None) -> QueryResult:
         """Answer ``q`` with one materialised frame plus scan statistics.
 
@@ -376,9 +481,15 @@ class DataLakeStore:
         remaining extracts are not read at all.  Forcing ``q.fmt`` raises
         :class:`ExtractNotFoundError` when a matched key lacks that
         format's copy.
+
+        An aggregate query (``q.aggregates`` set) returns reductions in
+        ``result.aggregates`` instead of rows -- see
+        :meth:`_query_aggregate` for the decode-avoidance contract.
         """
         self._check_access(principal)
         stats = ScanStats()
+        if q.is_aggregate:
+            return self._query_aggregate(q, principal, stats)
         out: LoadFrame | None = None
         remaining = q.limit
         for key in self._query_keys(q, principal):
@@ -486,8 +597,14 @@ class DataLakeStore:
         next server's payload would be decoded).  Like :meth:`query`, a
         scan refuses to silently mix sampling intervals across matched
         extracts.  ``stats``, when given, fills in as the scan advances.
+        Aggregate queries have no row stream -- use :meth:`query`.
         """
         self._check_access(principal)
+        if q.is_aggregate:
+            raise QueryError(
+                "aggregate queries produce reductions, not a row stream; "
+                "answer them with query()"
+            )
         remaining = q.limit
         if remaining is not None and remaining <= 0:
             return

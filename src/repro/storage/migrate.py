@@ -178,13 +178,26 @@ def _upgrade_sgx_in_place(
     memory and compared by content hash **before** any write -- once the
     old file is gone there is nothing left to fall back to.  The exact
     verified bytes are what lands on disk (no re-encode in between).
+
+    A version-only upgrade of a file that already carries per-chunk zone
+    maps (v2+) must not disturb how the series were chunked: without an
+    explicit ``chunk_minutes`` it goes through
+    :func:`~repro.storage.columnar.upgrade_sgx_bytes`, which preserves
+    every chunk boundary byte-for-byte and only rewrites the chunk-table
+    entries (adding per-column CRCs below v3 and the v4 value
+    pre-aggregates).  v1 files carry one whole-series chunk per server,
+    so they are re-chunked under the effective policy -- that *is* their
+    upgrade.  Forcing ``chunk_minutes`` always re-chunks.
     """
-    policy = chunk_minutes
-    if policy is None:
-        policy = lake.chunk_minutes
-    if policy is None:
-        policy = columnar.DEFAULT_CHUNK_MINUTES
-    new_bytes = columnar.frame_to_sgx_bytes(frame, chunk_minutes=policy)
+    if chunk_minutes is None and columnar.sgx_version(raw) >= 2:
+        new_bytes = columnar.upgrade_sgx_bytes(raw)
+    else:
+        policy = chunk_minutes
+        if policy is None:
+            policy = lake.chunk_minutes
+        if policy is None:
+            policy = columnar.DEFAULT_CHUNK_MINUTES
+        new_bytes = columnar.frame_to_sgx_bytes(frame, chunk_minutes=policy)
     if new_bytes == bytes(raw):
         return None
     if verify:
@@ -222,12 +235,14 @@ def convert_lake(
     back) and then skipped; a damaged target copy is dropped and
     re-converted from a healthy source-format copy instead of being
     trusted.  An ``.sgx`` copy in an *older format version* is not
-    "already current": it is upgraded in place (v1 -> v2 per-day chunks),
-    verified in memory *before* the old file is overwritten -- an upgrade
-    rewrites its own source, so post-write rollback would be too late.
+    "already current": it is upgraded in place (v1 gains per-day chunks;
+    v2/v3 gain the v4 chunk statistics with their chunk boundaries
+    preserved byte-for-byte), verified in memory *before* the old file is
+    overwritten -- an upgrade rewrites its own source, so post-write
+    rollback would be too late.
     ``chunk_minutes`` sets the ``.sgx`` chunking policy of converted
-    extracts; passing it explicitly also forces already-v2 extracts to be
-    re-chunked under that policy.  With
+    extracts; passing it explicitly also forces already-current extracts
+    to be re-chunked under that policy.  With
     ``verify`` (the default) the converted copy is read back and its frame
     content hash compared against the source frame; a mismatch raises
     :class:`ConversionVerificationError` and leaves the source untouched.

@@ -21,7 +21,15 @@ replaces that with one frozen, hashable value describing *what* to read:
 * **execution details** -- ``interval_minutes`` and a stored-format
   preference ``fmt``.  ``fmt`` never changes the answer (both formats
   materialise the same frame), so it is excluded from
-  :meth:`ExtractQuery.cache_token`.
+  :meth:`ExtractQuery.cache_token`;
+* **aggregates** -- ``aggregates=(...)`` turns the query into a
+  reduction (``count`` / ``sum`` / ``min`` / ``max`` / ``mean`` /
+  ``variance`` / ``std``), optionally grouped via ``group_by`` over
+  ``server`` and/or absolute ``day``.  Aggregate queries return no
+  frame; on ``.sgx`` v4 extracts they are answered from chunk-table
+  statistics without decoding value buffers wherever a chunk lies fully
+  inside the time range and scope (see
+  :func:`~repro.storage.columnar.aggregate_sgx_bytes`).
 
 Queries are value objects: equivalent constructions (list vs tuple server
 ids, unordered inputs) normalise to the same instance, hash equal, and
@@ -42,6 +50,7 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
+from repro.storage.aggregate import check_group_by, check_reductions
 from repro.storage.columnar import COLUMNS, SgxReadStats, normalize_columns
 from repro.timeseries.calendar import (
     DEFAULT_INTERVAL_MINUTES,
@@ -128,6 +137,13 @@ class ExtractQuery:
     #: degrade to a co-located CSV when the ``.sgx`` copy is damaged).
     #: Never part of :meth:`cache_token` -- it cannot change the answer.
     fmt: str | None = None
+    #: Reductions to compute instead of materialising rows (``None``:
+    #: a row query).  Canonicalised subset of
+    #: :data:`~repro.storage.aggregate.AGGREGATE_REDUCTIONS`.
+    aggregates: tuple[str, ...] | None = None
+    #: Group keys for an aggregate query, over ``server`` and/or absolute
+    #: ``day`` (``minute // 1440``).  Only valid with ``aggregates``.
+    group_by: tuple[str, ...] | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "regions", _name_tuple(self.regions, "regions"))
@@ -159,6 +175,26 @@ class ExtractQuery:
             raise QueryError("interval_minutes must be positive (or None)")
         if self.fmt is not None:
             check_format(self.fmt)
+        if self.aggregates is not None:
+            try:
+                object.__setattr__(self, "aggregates", check_reductions(self.aggregates))
+                if self.group_by is not None:
+                    object.__setattr__(self, "group_by", check_group_by(self.group_by))
+            except ValueError as exc:
+                raise QueryError(str(exc)) from None
+            if self.limit is not None:
+                raise QueryError(
+                    "limit cannot be combined with aggregates -- a row cap over "
+                    "an unordered multi-extract scan would make the reductions "
+                    "depend on scan order"
+                )
+            if self.columns != COLUMNS:
+                raise QueryError(
+                    "column projections cannot be combined with aggregates -- "
+                    "the aggregate mode decides per chunk which buffers to read"
+                )
+        elif self.group_by is not None:
+            raise QueryError("group_by requires aggregates")
 
     # ------------------------------------------------------------------ #
 
@@ -182,6 +218,11 @@ class ExtractQuery:
     @property
     def wants_values(self) -> bool:
         return "values" in self.columns
+
+    @property
+    def is_aggregate(self) -> bool:
+        """Whether this query computes reductions instead of rows."""
+        return self.aggregates is not None
 
     def time_range(self) -> tuple[int, int]:
         """The half-open row range with open bounds made explicit."""
@@ -217,6 +258,8 @@ class ExtractQuery:
             "columns": self.columns,
             "limit": self.limit,
             "interval_minutes": self.interval_minutes,
+            "aggregates": self.aggregates,
+            "group_by": self.group_by,
         }
 
 
@@ -231,6 +274,11 @@ class ScanStats:
     extracts (no checksums, no sub-file structure) the whole file is
     parsed, so both counters advance by the file size and the skip
     counters stay untouched -- the pushdowns are post-parse there.
+
+    Aggregate queries additionally count ``chunks_answered_from_stats``
+    (chunks whose reductions came from stored chunk-table pre-aggregates)
+    and ``bytes_decoded_avoided`` (those chunks' payload bytes, never
+    read or checksummed).
     """
 
     extracts_scanned: int = 0
@@ -239,6 +287,8 @@ class ScanStats:
     servers_seen: int = 0
     servers_skipped: int = 0
     columns_skipped: int = 0
+    chunks_answered_from_stats: int = 0
+    bytes_decoded_avoided: int = 0
     payload_bytes_stored: int = 0
     payload_bytes_verified: int = 0
     rows: int = 0
@@ -250,6 +300,8 @@ class ScanStats:
         self.servers_seen += read.servers_seen
         self.servers_skipped += read.servers_skipped
         self.columns_skipped += read.columns_skipped
+        self.chunks_answered_from_stats += read.chunks_answered_from_stats
+        self.bytes_decoded_avoided += read.bytes_decoded_avoided
         self.payload_bytes_stored += read.payload_bytes_total
         self.payload_bytes_verified += read.payload_bytes_verified
 
@@ -269,6 +321,8 @@ class ScanStats:
             "servers_seen": self.servers_seen,
             "servers_skipped": self.servers_skipped,
             "columns_skipped": self.columns_skipped,
+            "chunks_answered_from_stats": self.chunks_answered_from_stats,
+            "bytes_decoded_avoided": self.bytes_decoded_avoided,
             "payload_bytes_stored": self.payload_bytes_stored,
             "payload_bytes_verified": self.payload_bytes_verified,
             "rows": self.rows,
@@ -277,11 +331,20 @@ class ScanStats:
 
 @dataclass
 class QueryResult:
-    """The materialised answer to one :class:`ExtractQuery`."""
+    """The materialised answer to one :class:`ExtractQuery`.
+
+    A row query fills ``frame``; an aggregate query leaves the frame
+    empty and fills ``aggregates`` -- a mapping from group-key tuple (in
+    ``group_by`` order; the empty tuple for the global aggregate) to the
+    requested reductions.  Groups only exist once at least one sample
+    folded into them, so the mapping is NaN-free and an empty scope is
+    an empty mapping.
+    """
 
     query: ExtractQuery
     frame: LoadFrame
     stats: ScanStats = field(default_factory=ScanStats)
+    aggregates: dict[tuple, dict[str, float | int]] | None = None
 
     @property
     def rows(self) -> int:

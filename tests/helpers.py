@@ -157,6 +157,85 @@ def frame_to_sgx_v2_bytes(frame, chunk_minutes: int = MINUTES_PER_DAY) -> bytes:
     return header + _V1_HEADER_CRC.pack(zlib.crc32(header)) + body
 
 
+#: Frozen .sgx v3 chunk header (per-column CRCs, no value statistics),
+#: for compatibility tests against files the v3 writer shipped.
+_V3_CHUNK_HEADER = struct.Struct("<QqqII")
+
+
+def frame_to_sgx_v3_bytes(frame, chunk_minutes: int = MINUTES_PER_DAY) -> bytes:
+    """Serialise ``frame`` exactly as the .sgx format v3 writer did.
+
+    Identical to v4 except the chunk table carries no value
+    pre-aggregates -- each entry is ``n_points | min_ts | max_ts |
+    ts_crc | vs_crc``.
+    """
+    from repro.storage.columnar import _split_at_boundaries
+
+    def packed(text: str) -> bytes:
+        encoded = text.encode("utf-8")
+        return _V1_STRING_LEN.pack(len(encoded)) + encoded
+
+    dictionary: dict[str, int] = {}
+
+    def intern(text: str) -> int:
+        return dictionary.setdefault(text, len(dictionary))
+
+    records = []
+    for server_id, metadata, series in frame.items():
+        timestamps = np.ascontiguousarray(series.timestamps, dtype="<i8")
+        values = np.ascontiguousarray(series.values, dtype="<f8")
+        pieces = _split_at_boundaries(timestamps, values, chunk_minutes)
+        chunk_table = bytearray()
+        payloads = []
+        for chunk_ts, chunk_vs in pieces:
+            n_points = int(chunk_ts.shape[0])
+            ts_bytes = chunk_ts.tobytes()
+            vs_bytes = chunk_vs.tobytes()
+            if n_points:
+                min_ts, max_ts = int(chunk_ts[0]), int(chunk_ts[-1])
+            else:
+                min_ts, max_ts = 0, -1
+            chunk_table += _V3_CHUNK_HEADER.pack(
+                n_points, min_ts, max_ts, zlib.crc32(ts_bytes), zlib.crc32(vs_bytes)
+            )
+            payloads.append(ts_bytes + vs_bytes)
+        record_header = (
+            packed(server_id)
+            + _V2_SERVER_FIXED.pack(
+                intern(metadata.region),
+                intern(metadata.engine),
+                intern(metadata.true_class),
+                metadata.default_backup_start,
+                metadata.default_backup_end,
+                metadata.backup_duration_minutes,
+                len(payloads),
+            )
+            + bytes(chunk_table)
+        )
+        records.append((record_header, payloads))
+
+    dict_section = b"".join(packed(text) for text in dictionary)
+    structure_crc = zlib.crc32(dict_section)
+    for record_header, _payloads in records:
+        structure_crc = zlib.crc32(record_header, structure_crc)
+    body_parts = [dict_section]
+    for record_header, payloads in records:
+        body_parts.append(record_header)
+        body_parts.extend(payloads)
+    body = b"".join(body_parts)
+    header = _V1_HEADER.pack(
+        b"SGXF",
+        3,
+        0,
+        frame.interval_minutes,
+        len(frame),
+        len(dictionary),
+        _V1_HEADER.size + _V1_HEADER_CRC.size + len(body),
+        structure_crc,
+    )
+    return header + _V1_HEADER_CRC.pack(zlib.crc32(header)) + body
+
+
 def make_series(values, start=0, interval=5) -> LoadSeries:
     """Construct a series from raw values on a regular grid."""
     return LoadSeries.from_values(

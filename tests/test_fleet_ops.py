@@ -14,6 +14,13 @@ from repro.telemetry.fleet import default_fleet_spec, extract_spec
 from repro.telemetry.generator import WorkloadGenerator
 
 
+def columnar_version() -> int:
+    """The current .sgx writer version (what an in-place upgrade targets)."""
+    from repro.storage import columnar
+
+    return columnar.VERSION
+
+
 @pytest.fixture(scope="module")
 def fleet_spec():
     return default_fleet_spec(servers_per_region=(8, 5), weeks=4, seed=13)
@@ -532,7 +539,7 @@ class TestConvertCli:
         assert fleet_main(["convert", "--lake-dir", str(lake.root)]) == 0
         out = capsys.readouterr().out
         assert "1 extract(s) converted, 3 already current" in out
-        assert sgx_version(path.read_bytes()) == 3
+        assert sgx_version(path.read_bytes()) == columnar_version()
         assert lake.read_extract(key, None).content_hash() == frame.content_hash()
 
     def test_convert_upgrade_deletes_leftover_source(self, tmp_path):
@@ -550,7 +557,7 @@ class TestConvertCli:
         path = lake.root / key.region / key.filename("sgx")
         path.write_bytes(frame_to_sgx_v1_bytes(frame))
         report = convert_lake(lake, "sgx", delete_source=True)
-        assert sgx_version(path.read_bytes()) == 3
+        assert sgx_version(path.read_bytes()) == columnar_version()
         for each in lake.list_extracts():
             assert lake.extract_formats(each) == ("sgx",)
         upgraded = [r for r in report.records if not r.skipped]
@@ -575,7 +582,7 @@ class TestConvertCli:
         lake = DataLakeStore(seeded.root, write_format="sgx", chunk_minutes=0)
         convert_lake(lake, "sgx")
         raw = path.read_bytes()
-        assert sgx_version(raw) == 3
+        assert sgx_version(raw) == columnar_version()
         info = sgx_summary(raw)
         assert info["n_chunks"] == info["n_servers"]  # whole-series chunks
 

@@ -1,0 +1,440 @@
+"""Tests for the aggregate query mode and the v4 chunk-statistics path.
+
+Parity is the contract under test: whatever mix of sources answers an
+aggregate -- stored v4 chunk statistics, decoded partial-overlap chunks,
+CSV rows -- the reductions must match a naive recompute over the
+materialised row path, and degraded/legacy lakes must agree with fresh
+ones.  The pairwise (Chan/Welford) merge is additionally checked for
+fold-order independence with hypothesis.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import columnar
+from repro.storage.aggregate import AggregateAccumulator, GroupState
+from repro.storage.datalake import DataLakeStore, ExtractKey
+from repro.storage.query import ExtractQuery, QueryError
+from repro.timeseries.calendar import MINUTES_PER_DAY
+from repro.timeseries.frame import LoadFrame, ServerMetadata
+from repro.timeseries.series import LoadSeries
+
+from tests.helpers import diurnal_series, frame_to_sgx_v3_bytes
+
+ALL_REDUCTIONS = ("count", "sum", "min", "max", "mean", "variance", "std")
+
+
+def build_frame(n_servers: int = 4, n_days: int = 7) -> LoadFrame:
+    frame = LoadFrame(5)
+    for i in range(n_servers):
+        metadata = ServerMetadata(
+            server_id=f"srv-{i}",
+            region="westus2",
+            engine="postgresql" if i % 2 else "mysql",
+            default_backup_start=0,
+            default_backup_end=360,
+            backup_duration_minutes=45,
+            true_class="stable",
+        )
+        frame.add_server(metadata, diurnal_series(n_days, noise=1.5, seed=i))
+    return frame
+
+
+def make_lake(frame: LoadFrame, fmt: str) -> DataLakeStore:
+    lake = DataLakeStore(write_format=fmt)
+    lake.write_extract(ExtractKey("westus2", 0), frame)
+    return lake
+
+
+def naive_aggregate(frame, query):
+    """Recompute the reductions directly from the materialised rows."""
+    group_by = query.group_by or ()
+    lo, hi = query.time_range()
+    allow = set(query.servers) if query.servers is not None else None
+    engines = set(query.engines) if query.engines is not None else None
+    groups: dict[tuple, list[np.ndarray]] = {}
+    for server_id, metadata, series in frame.items():
+        if allow is not None and server_id not in allow:
+            continue
+        if engines is not None and metadata.engine not in engines:
+            continue
+        ts, vs = series.timestamps, series.values
+        mask = (ts >= lo) & (ts < hi)
+        if not mask.any():
+            continue
+        if "day" in group_by:
+            for day in np.unique(ts[mask] // MINUTES_PER_DAY):
+                key = tuple(
+                    server_id if name == "server" else int(day) for name in group_by
+                )
+                groups.setdefault(key, []).append(vs[mask & (ts // MINUTES_PER_DAY == day)])
+        else:
+            key = (server_id,) if "server" in group_by else ()
+            groups.setdefault(key, []).append(vs[mask])
+    out = {}
+    for key, parts in groups.items():
+        values = np.concatenate(parts)
+        out[key] = {
+            "count": int(values.shape[0]),
+            "sum": float(values.sum()),
+            "min": float(values.min()),
+            "max": float(values.max()),
+            "mean": float(values.mean()),
+            "variance": float(values.var()),
+            "std": float(values.std()),
+        }
+    return out
+
+
+def assert_aggregates_close(got, want):
+    assert set(got) == set(want)
+    for key in want:
+        for name in ALL_REDUCTIONS:
+            assert got[key][name] == pytest.approx(want[key][name], rel=1e-9, abs=1e-7), (
+                key,
+                name,
+            )
+
+
+class TestAggregateRowParity:
+    """Aggregate answers match a naive recompute of the row path."""
+
+    @pytest.mark.parametrize("fmt", ["csv", "sgx"])
+    @pytest.mark.parametrize(
+        "start,end",
+        [
+            (None, None),  # full scan: every chunk fully covered
+            (MINUTES_PER_DAY, 3 * MINUTES_PER_DAY),  # day-aligned: full chunks
+            (700, 5 * MINUTES_PER_DAY - 300),  # partial chunks at both edges
+        ],
+        ids=["full", "chunk-aligned", "partial-overlap"],
+    )
+    @pytest.mark.parametrize("group_by", [None, ("server",), ("day",), ("server", "day")])
+    def test_parity(self, fmt, start, end, group_by):
+        frame = build_frame()
+        lake = make_lake(frame, fmt)
+        query = ExtractQuery(
+            aggregates=ALL_REDUCTIONS,
+            group_by=group_by,
+            start_minute=start,
+            end_minute=end,
+        )
+        result = lake.query(query)
+        assert result.frame.total_points() == 0  # no rows materialised
+        assert_aggregates_close(result.aggregates, naive_aggregate(frame, query))
+
+    @pytest.mark.parametrize("fmt", ["csv", "sgx"])
+    def test_parity_with_server_and_engine_filters(self, fmt):
+        frame = build_frame(n_servers=6)
+        lake = make_lake(frame, fmt)
+        query = ExtractQuery(
+            aggregates=ALL_REDUCTIONS,
+            group_by=("server",),
+            servers=("srv-1", "srv-2", "srv-3", "srv-5"),
+            engines=("postgresql",),
+        )
+        result = lake.query(query)
+        want = naive_aggregate(frame, query)
+        assert set(result.aggregates) == {("srv-1",), ("srv-3",), ("srv-5",)}
+        assert_aggregates_close(result.aggregates, want)
+
+    def test_empty_scope_is_empty_mapping_not_nan(self):
+        lake = make_lake(build_frame(), "sgx")
+        result = lake.query(
+            ExtractQuery(aggregates=("mean", "min"), servers=("no-such-server",))
+        )
+        assert result.aggregates == {}
+        ranged = lake.query(
+            ExtractQuery(aggregates=("mean",), start_minute=10**9, end_minute=10**9 + 10)
+        )
+        assert ranged.aggregates == {}
+
+    def test_results_are_nan_free(self):
+        frame = build_frame()
+        lake = make_lake(frame, "sgx")
+        result = lake.query(
+            ExtractQuery(aggregates=ALL_REDUCTIONS, group_by=("server", "day"))
+        )
+        assert result.aggregates
+        for reductions in result.aggregates.values():
+            for value in reductions.values():
+                assert not math.isnan(value)
+
+    def test_damaged_sgx_falls_back_to_csv_without_double_count(self):
+        frame = build_frame()
+        lake = DataLakeStore(write_format="sgx")
+        key = ExtractKey("westus2", 0)
+        lake.write_extract(key, frame)
+        _fmt, raw = lake.read_extract_bytes(key, fmt="sgx")
+        lake.write_extract_bytes(key, "csv", b"", keep_other_formats=True)
+        import repro.storage.csv_io as csv_io
+
+        lake.write_extract_bytes(
+            key, "csv", csv_io.frame_to_csv_text(frame).encode(), keep_other_formats=True
+        )
+        damaged = bytearray(raw)
+        damaged[-1] ^= 0x01  # payload corruption: structure still parses
+        lake.write_extract_bytes(key, "sgx", bytes(damaged), keep_other_formats=True)
+        query = ExtractQuery(aggregates=ALL_REDUCTIONS, group_by=("server",))
+        result = lake.query(query)
+        assert_aggregates_close(result.aggregates, naive_aggregate(frame, query))
+
+
+class TestDecodeAvoidance:
+    """Fully covered chunks are answered from statistics, not payloads."""
+
+    def test_full_scan_decodes_nothing(self):
+        lake = make_lake(build_frame(), "sgx")
+        result = lake.query(ExtractQuery(aggregates=ALL_REDUCTIONS, group_by=("day",)))
+        stats = result.stats
+        assert stats.chunks_answered_from_stats == stats.chunks_seen
+        assert stats.payload_bytes_verified == 0
+        assert stats.bytes_decoded_avoided == stats.payload_bytes_stored
+
+    def test_partial_range_decodes_only_edge_chunks(self):
+        lake = make_lake(build_frame(n_servers=2, n_days=7), "sgx")
+        result = lake.query(
+            ExtractQuery(
+                aggregates=("mean",),
+                start_minute=700,  # mid-day cut: day 0 is a partial chunk
+                end_minute=5 * MINUTES_PER_DAY,  # aligned: days 1-4 fully covered
+            )
+        )
+        stats = result.stats
+        assert stats.chunks_answered_from_stats == 2 * 4  # days 1-4, both servers
+        assert stats.chunks_pruned == 2 * 2  # days 5-6 zone-map pruned
+        assert stats.payload_bytes_verified == 2 * 288 * 16  # the two partial chunks
+        assert stats.bytes_decoded_avoided == 2 * 4 * 288 * 16
+
+    def test_count_only_needs_no_value_stats_on_any_version(self):
+        frame = build_frame(n_servers=2, n_days=3)
+        v3 = frame_to_sgx_v3_bytes(frame)
+        acc = AggregateAccumulator(("count",), ("server",))
+        stats = columnar.SgxReadStats()
+        columnar.aggregate_sgx_bytes(v3, acc, stats=stats)
+        assert stats.chunks_answered_from_stats == stats.chunks_seen
+        assert stats.payload_bytes_verified == 0
+        for i in range(2):
+            assert acc.results()[(f"srv-{i}",)]["count"] == 3 * 288
+
+    def test_value_reductions_on_v3_fall_back_to_decode(self):
+        frame = build_frame(n_servers=2, n_days=3)
+        v3 = frame_to_sgx_v3_bytes(frame)
+        acc = AggregateAccumulator(("mean",), ("server",))
+        stats = columnar.SgxReadStats()
+        columnar.aggregate_sgx_bytes(v3, acc, stats=stats)
+        assert stats.chunks_answered_from_stats == 0
+        assert stats.payload_bytes_verified == stats.payload_bytes_total
+        for i in range(2):
+            series = frame.series(f"srv-{i}")
+            assert acc.results()[(f"srv-{i}",)]["mean"] == pytest.approx(
+                float(series.values.mean())
+            )
+
+    def test_day_straddling_chunk_decodes_when_grouped_by_day(self):
+        # One whole-series chunk spanning 3 days: grouping by day cannot
+        # use its statistics, grouping by server can.
+        frame = build_frame(n_servers=1, n_days=3)
+        data = columnar.frame_to_sgx_bytes(frame, chunk_minutes=0)
+        by_day = AggregateAccumulator(("mean",), ("day",))
+        day_stats = columnar.SgxReadStats()
+        columnar.aggregate_sgx_bytes(data, by_day, stats=day_stats)
+        assert day_stats.chunks_answered_from_stats == 0
+        assert len(by_day.results()) == 3
+        by_server = AggregateAccumulator(("mean",), ("server",))
+        server_stats = columnar.SgxReadStats()
+        columnar.aggregate_sgx_bytes(data, by_server, stats=server_stats)
+        assert server_stats.chunks_answered_from_stats == 1
+        assert server_stats.payload_bytes_verified == 0
+
+
+class TestQueryValidation:
+    def test_unknown_reduction_rejected(self):
+        with pytest.raises(QueryError, match="unknown aggregate reduction"):
+            ExtractQuery(aggregates=("median",))
+
+    def test_group_by_requires_aggregates(self):
+        with pytest.raises(QueryError, match="group_by requires aggregates"):
+            ExtractQuery(group_by=("day",))
+
+    def test_limit_incompatible_with_aggregates(self):
+        with pytest.raises(QueryError, match="limit"):
+            ExtractQuery(aggregates=("count",), limit=10)
+
+    def test_column_projection_incompatible_with_aggregates(self):
+        with pytest.raises(QueryError, match="projection"):
+            ExtractQuery(aggregates=("count",), columns=("timestamps",))
+
+    def test_aggregates_canonicalise_and_hash_equal(self):
+        a = ExtractQuery(aggregates=["std", "mean", "count"], group_by=["day", "server"])
+        b = ExtractQuery(aggregates=("count", "mean", "std"), group_by=("server", "day"))
+        assert a == b and hash(a) == hash(b)
+        assert a.cache_token() == b.cache_token()
+
+    def test_aggregate_token_differs_from_row_token(self):
+        row = ExtractQuery()
+        agg = ExtractQuery(aggregates=("count",))
+        assert row.cache_token() != agg.cache_token()
+
+    def test_scan_rejects_aggregate_queries(self):
+        lake = make_lake(build_frame(n_servers=1, n_days=1), "sgx")
+        with pytest.raises(QueryError, match="row stream"):
+            list(lake.scan(ExtractQuery(aggregates=("count",))))
+
+
+class TestUpgrade:
+    """In-place v4 upgrades: boundary preservation and idempotence."""
+
+    def test_upgrade_preserves_custom_chunk_boundaries_byte_for_byte(self):
+        frame = build_frame(n_servers=2, n_days=6)
+        v3 = frame_to_sgx_v3_bytes(frame, chunk_minutes=720)  # half-day chunks
+        upgraded = columnar.upgrade_sgx_bytes(v3)
+        assert columnar.sgx_version(upgraded) == 4
+        old = columnar.sgx_summary(v3)["chunks"]
+        new = columnar.sgx_summary(upgraded)["chunks"]
+        assert [
+            (c["server_id"], c["n_points"], c["min_ts"], c["max_ts"]) for c in old
+        ] == [(c["server_id"], c["n_points"], c["min_ts"], c["max_ts"]) for c in new]
+        # The payload region is byte-identical: only header + chunk tables changed.
+        restored = columnar.frame_from_sgx_bytes(upgraded)
+        assert restored.content_hash() == frame.content_hash()
+
+    def test_upgrade_is_idempotent_on_v4(self):
+        data = columnar.frame_to_sgx_bytes(build_frame(n_servers=1, n_days=2))
+        assert columnar.upgrade_sgx_bytes(data) == data
+
+    def test_upgrade_rejects_corrupt_payload(self):
+        damaged = bytearray(frame_to_sgx_v3_bytes(build_frame(n_servers=1, n_days=2)))
+        damaged[-1] ^= 0x01
+        with pytest.raises(columnar.ColumnarFormatError, match="checksum"):
+            columnar.upgrade_sgx_bytes(bytes(damaged))
+
+    def test_upgraded_v3_matches_fresh_v4_writer(self):
+        frame = build_frame(n_servers=2, n_days=3)
+        upgraded = columnar.upgrade_sgx_bytes(frame_to_sgx_v3_bytes(frame))
+        fresh = columnar.frame_to_sgx_bytes(frame)
+        assert upgraded == fresh  # default per-day chunks: identical files
+
+    def test_convert_lake_preserves_v3_boundaries_and_short_circuits(self, tmp_path):
+        from repro.storage.migrate import convert_lake
+
+        frame = build_frame(n_servers=2, n_days=6)
+        lake = DataLakeStore(tmp_path / "lake", write_format="sgx")
+        key = ExtractKey("westus2", 0)
+        # Land a genuine v3 file with non-default half-day chunks.
+        lake.write_extract_bytes(key, "sgx", frame_to_sgx_v3_bytes(frame, chunk_minutes=720))
+        before = columnar.sgx_summary(lake.read_extract_bytes(key, fmt="sgx")[1])
+        report = convert_lake(lake, "sgx")
+        assert report.n_converted == 1
+        raw = lake.read_extract_bytes(key, fmt="sgx")[1]
+        assert columnar.sgx_version(raw) == columnar.VERSION
+        after = columnar.sgx_summary(raw)
+        assert [
+            (c["server_id"], c["n_points"], c["min_ts"], c["max_ts"])
+            for c in after["chunks"]
+        ] == [
+            (c["server_id"], c["n_points"], c["min_ts"], c["max_ts"])
+            for c in before["chunks"]
+        ]
+        # Re-converting the now-v4 lake is a no-op short-circuit.
+        again = convert_lake(lake, "sgx")
+        assert again.n_converted == 0 and again.n_skipped == 1
+        assert lake.read_extract_bytes(key, fmt="sgx")[1] == raw
+
+
+# Hypothesis strategies ---------------------------------------------------- #
+
+loads = st.floats(min_value=0.0, max_value=100.0, allow_nan=False, width=32)
+
+
+def load_arrays(min_size=1, max_size=200):
+    return st.lists(loads, min_size=min_size, max_size=max_size).map(
+        lambda values: np.asarray(values, dtype=np.float64)
+    )
+
+
+class TestMergeExactness:
+    """The pairwise merge agrees with a naive recompute, any fold order."""
+
+    @given(st.lists(load_arrays(), min_size=1, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_chunked_fold_matches_naive(self, parts):
+        state = GroupState()
+        for part in parts:
+            # Alternate the two fold paths: stored statistics vs arrays.
+            if len(part) % 2:
+                state.fold_stats(
+                    int(part.shape[0]),
+                    float(part.sum()),
+                    float(part.min()),
+                    float(part.max()),
+                    float(np.dot(part, part)),
+                )
+            else:
+                state.fold_array(part)
+        values = np.concatenate(parts)
+        got = state.result(ALL_REDUCTIONS)
+        assert got["count"] == values.shape[0]
+        assert got["sum"] == pytest.approx(float(values.sum()), rel=1e-9)
+        assert got["min"] == float(values.min())
+        assert got["max"] == float(values.max())
+        assert got["mean"] == pytest.approx(float(values.mean()), rel=1e-9)
+        assert got["variance"] == pytest.approx(float(values.var()), rel=1e-6, abs=1e-7)
+        assert got["std"] == pytest.approx(float(values.std()), rel=1e-6, abs=1e-7)
+
+    @given(st.lists(load_arrays(), min_size=2, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_accumulator_merge_matches_single_fold(self, parts):
+        merged = AggregateAccumulator(ALL_REDUCTIONS, ("server",))
+        for part in parts:
+            partial = merged.spawn()
+            partial.fold_columns("srv", np.arange(part.shape[0], dtype=np.int64), part)
+            merged.merge(partial)
+        direct = AggregateAccumulator(ALL_REDUCTIONS, ("server",))
+        # Fold day-split to vary the internal chunking too.
+        values = np.concatenate(parts)
+        direct.fold_columns("srv", np.arange(values.shape[0], dtype=np.int64), values)
+        got, want = merged.results()[("srv",)], direct.results()[("srv",)]
+        for name in ALL_REDUCTIONS:
+            assert got[name] == pytest.approx(want[name], rel=1e-9, abs=1e-7)
+
+    @given(load_arrays(min_size=2))
+    @settings(max_examples=60, deadline=None)
+    def test_constant_series_variance_never_negative(self, values):
+        constant = np.full(values.shape[0], float(values[0]))
+        state = GroupState()
+        state.fold_stats(
+            int(constant.shape[0]),
+            float(constant.sum()),
+            float(constant.min()),
+            float(constant.max()),
+            float(np.dot(constant, constant)),
+        )
+        result = state.result(("variance", "std"))
+        assert result["variance"] >= 0.0
+        assert result["std"] >= 0.0
+
+    @given(st.lists(load_arrays(max_size=120), min_size=1, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_sgx_roundtrip_aggregate_matches_naive(self, parts):
+        frame = LoadFrame(5)
+        for i, part in enumerate(parts):
+            frame.add_server(
+                ServerMetadata(server_id=f"s{i}", region="r", engine="e"),
+                LoadSeries.from_values(part, interval_minutes=5),
+            )
+        data = columnar.frame_to_sgx_bytes(frame)
+        acc = AggregateAccumulator(ALL_REDUCTIONS, ("server",))
+        stats = columnar.SgxReadStats()
+        columnar.aggregate_sgx_bytes(data, acc, stats=stats)
+        assert stats.payload_bytes_verified == 0  # all from stored stats
+        for i, part in enumerate(parts):
+            got = acc.results()[(f"s{i}",)]
+            assert got["mean"] == pytest.approx(float(part.mean()), rel=1e-9)
+            assert got["variance"] == pytest.approx(
+                float(part.var()), rel=1e-6, abs=1e-7
+            )

@@ -101,7 +101,10 @@ class TestRoundTrip:
         lone = build_frame(n_servers=1, points=1)
         per_server = (len(frame_to_sgx_bytes(many)) - len(frame_to_sgx_bytes(lone))) / 19
         encoded_meta = len("westus2") + len("postgresql")
-        assert per_server < 60 + 16 + 10 + encoded_meta  # no repeated strings
+        # record header + v4 chunk header (64 bytes) + one point + slack:
+        # loose enough for the fixed fields, tight enough that re-encoding
+        # the region/engine strings per server would blow it.
+        assert per_server < 88 + 16 + 10 + encoded_meta  # no repeated strings
 
 
 class TestZoneMapPruning:
@@ -491,9 +494,9 @@ class TestV1Compatibility:
         with pytest.raises(ColumnarFormatError, match="checksum"):
             frame_from_sgx_bytes(bytes(data))
 
-    def test_version_three_is_current(self):
-        assert columnar.VERSION == 3
-        assert sgx_version(frame_to_sgx_bytes(build_frame())) == 3
+    def test_version_four_is_current(self):
+        assert columnar.VERSION == 4
+        assert sgx_version(frame_to_sgx_bytes(build_frame())) == 4
 
 
 class TestV2Compatibility:
