@@ -1,6 +1,6 @@
 # Convenience targets mirroring .github/workflows/ci.yml.
 
-.PHONY: ci hygiene lint typecheck test bench-smoke bench-baseline fleet-demo
+.PHONY: ci hygiene lint invariants typecheck test bench-smoke bench-baseline fleet-demo
 
 ## Run every CI gate locally (hygiene + lint + typecheck + tests + bench baseline).
 ci:
@@ -12,13 +12,19 @@ hygiene:
 		echo "error: compiled Python artifacts are committed" >&2; exit 1; \
 	else echo "clean"; fi
 
-## Ruff critical-error gate (requires ruff; CI installs it).
-lint:
+## Ruff critical-error gate (requires ruff; CI installs it) plus the
+## repo-specific invariant linter (stdlib-only, always available).
+lint: invariants
 	ruff check .
+
+## Repo-specific AST invariant linter (api-boundary, import-layering,
+## lock-discipline, format-invariants, frozen-dataclass, broad-except).
+invariants:
+	PYTHONPATH=src python -m repro.devtools.lint src
 
 ## Mypy over the typed API surface (requires mypy; CI installs it).
 typecheck:
-	python -m mypy src/repro/storage src/repro/serving
+	python -m mypy src/repro/storage src/repro/serving src/repro/fleet_ops src/repro/parallel
 
 ## Full test suite.
 test:

@@ -54,6 +54,6 @@ def print_table(title: str, header: list[str], rows: list[list]) -> None:
         max(len(str(header[i])), max((len(row[i]) for row in formatted_rows), default=0)) + 2
         for i in range(len(header))
     ]
-    print("".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    print("".join(str(h).ljust(w) for h, w in zip(header, widths, strict=True)))
     for row in formatted_rows:
-        print("".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        print("".join(cell.ljust(w) for cell, w in zip(row, widths, strict=True)))

@@ -125,7 +125,7 @@ def test_fleet_warm_cache_rerun(benchmark, tmp_path_factory):
         ],
     )
     # Warm outcomes must be byte-for-byte the cold results.
-    for before, after in zip(cold.outcomes, warm.outcomes):
+    for before, after in zip(cold.outcomes, warm.outcomes, strict=True):
         assert after.summary == before.summary
         assert after.n_predictable == before.n_predictable
 

@@ -97,7 +97,7 @@ def main() -> None:
             probes={"backup_service": lambda: True},
             serving=pipeline.serving,
         )
-        region_fleet = fleet.filter(lambda md, s: md.region == region)
+        region_fleet = fleet.filter(lambda md, s, region=region: md.region == region)
         metadata = {sid: region_fleet.metadata(sid) for sid in region_fleet.server_ids()}
         execution = runner.run_day(
             cluster=f"{region}-cluster-0",

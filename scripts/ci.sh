@@ -27,9 +27,13 @@ else
 fi
 
 echo
-echo "== typecheck (mypy: storage + serving) =="
+echo "== invariants (repo-specific AST linter) =="
+PYTHONPATH=src python -m repro.devtools.lint src
+
+echo
+echo "== typecheck (mypy: storage + serving + fleet_ops + parallel) =="
 if python -c "import mypy" >/dev/null 2>&1; then
-    python -m mypy src/repro/storage src/repro/serving
+    python -m mypy src/repro/storage src/repro/serving src/repro/fleet_ops src/repro/parallel
 else
     echo "mypy not installed locally; skipping (the CI typecheck job runs it)"
 fi

@@ -85,12 +85,11 @@ class AutoscalePolicy:
             )
         peak = forecast.maximum()
         mean = forecast.mean()
-        if peak >= self._up:
-            action = ScaleAction.SCALE_UP
-        elif peak <= self._down:
-            action = ScaleAction.SCALE_DOWN
-        else:
-            action = ScaleAction.HOLD
+        action = (
+            ScaleAction.SCALE_UP
+            if peak >= self._up
+            else ScaleAction.SCALE_DOWN if peak <= self._down else ScaleAction.HOLD
+        )
         return ScaleRecommendation(
             database_id=database_id,
             action=action,

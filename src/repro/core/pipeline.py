@@ -30,6 +30,7 @@ decisions are recorded per stage in ``PipelineRunResult.cache_events``.
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 import time
 from dataclasses import dataclass, field
@@ -51,8 +52,8 @@ from repro.models.base import ForecastError, Forecaster
 from repro.models.cached import PrecomputedForecaster
 from repro.models.registry import create_forecaster
 from repro.parallel.executor import PartitionedExecutor
-from repro.serving.api import BatchPredictionResponse
-from repro.serving.service import PredictionService
+from repro.serving.api import BatchPredictionResponse  # repro: allow[import-layering] the pipeline deploys into serving by design (PR 4); serving never imports pipeline
+from repro.serving.service import PredictionService  # repro: allow[import-layering] the pipeline deploys into serving by design (PR 4); serving never imports pipeline
 from repro.storage.artifacts import ArtifactStore, artifact_key
 from repro.storage.datalake import DataLakeStore, ExtractKey
 from repro.storage.query import ExtractQuery
@@ -489,10 +490,11 @@ class SeagullPipeline:
                 except ForecastError:
                     continue
                 server_days.append(day)
-                if combined_prediction is None:
-                    combined_prediction = prediction
-                else:
-                    combined_prediction = combined_prediction.concat(prediction)
+                combined_prediction = (
+                    prediction
+                    if combined_prediction is None
+                    else combined_prediction.concat(prediction)
+                )
             if combined_prediction is not None and server_days:
                 eval_predictions[server_id] = combined_prediction
                 eval_days[server_id] = server_days
@@ -608,12 +610,10 @@ class SeagullPipeline:
         record = result.model_record
         accuracy = result.summary.pct_windows_correct if result.summary else float("nan")
         if record is not None:
-            try:
+            with contextlib.suppress(DeploymentError):
                 result.model_record = self._registry.record_accuracy(
                     region, record.version, accuracy
                 )
-            except DeploymentError:
-                pass
         if (
             config.fallback_on_regression
             and accuracy == accuracy  # not NaN

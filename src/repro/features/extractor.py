@@ -153,4 +153,4 @@ class FeatureExtractionModule:
             labels.append(f"{previous:g}-{min(edge, 100):g}%")
             previous = edge
         total = len(features)
-        return {label: 100.0 * count / total for label, count in zip(labels, counts)}
+        return {label: 100.0 * count / total for label, count in zip(labels, counts, strict=True)}

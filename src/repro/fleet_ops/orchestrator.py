@@ -151,6 +151,7 @@ def _execute_unit(task: _UnitTask) -> FleetUnitOutcome:
         unit_key = artifact_key(STAGE_UNIT_OUTCOME, fingerprint, _unit_cache_params(task.config))
         payload = cache.get(unit_key)
         if payload is not None:
+            outcome: FleetUnitOutcome | None
             try:
                 outcome = FleetUnitOutcome.from_payload(payload)
             except Exception:

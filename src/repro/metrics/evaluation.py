@@ -297,7 +297,7 @@ class AccuracyEvaluationModule:
         for evaluation in evaluable:
             per_server.setdefault(evaluation.server_id, []).append(evaluation)
         n_predictable = 0
-        for server_id, server_evals in per_server.items():
+        for server_evals in per_server.values():
             if len(server_evals) >= required_days and all(
                 e.window_correct and e.load_accurate for e in server_evals
             ):

@@ -73,13 +73,13 @@ def mase(
     forecast_values, true_values = _to_arrays(forecast, true)
     if forecast_values.size == 0:
         return float("nan")
-    if training_true is not None:
-        if isinstance(training_true, LoadSeries):
-            scale_values = np.asarray(training_true.values, dtype=np.float64)
-        else:
-            scale_values = np.asarray(training_true, dtype=np.float64)
-    else:
+    if training_true is None:
         scale_values = true_values
+    else:
+        scale_source = (
+            training_true.values if isinstance(training_true, LoadSeries) else training_true
+        )
+        scale_values = np.asarray(scale_source, dtype=np.float64)
     if scale_values.size < 2:
         return float("nan")
     naive_error = float(np.mean(np.abs(np.diff(scale_values))))

@@ -185,10 +185,13 @@ class PartitionedExecutor:
         start = time.perf_counter()
         if not partitions:
             results: list[R] = []
-        elif self._backend is ExecutionBackend.SERIAL or len(partitions) == 1:
-            results = [fn(partition) for partition in partitions]
         else:
-            results = list(self._ensure_pool().map(fn, partitions))
+            run_serially = self._backend is ExecutionBackend.SERIAL or len(partitions) == 1
+            results = (
+                [fn(partition) for partition in partitions]
+                if run_serially
+                else list(self._ensure_pool().map(fn, partitions))
+            )
         elapsed = time.perf_counter() - start
         self._last_report = ExecutionReport(
             backend=self._backend,

@@ -68,6 +68,7 @@ class ArtifactCacheStats:
     misses: int = 0
     puts: int = 0
     corrupt_entries: int = 0
+    failed_evictions: int = 0
     hits_by_stage: dict[str, int] = field(default_factory=dict)
     misses_by_stage: dict[str, int] = field(default_factory=dict)
 
@@ -86,6 +87,7 @@ class ArtifactCacheStats:
             "misses": self.misses,
             "puts": self.puts,
             "corrupt_entries": self.corrupt_entries,
+            "failed_evictions": self.failed_evictions,
             "hit_rate": self.hit_rate,
             "hits_by_stage": dict(self.hits_by_stage),
             "misses_by_stage": dict(self.misses_by_stage),
@@ -167,7 +169,9 @@ class ArtifactStore:
             try:
                 self._store.delete(self._container, key)
             except Exception:
-                pass
+                # The entry stays corrupt on disk; record that eviction
+                # failed so the degradation is observable in stats.
+                self._stats.failed_evictions += 1
             self._miss(stage)
             return None
         self._stats.hits += 1

@@ -109,29 +109,37 @@ DEFAULT_CHUNK_MINUTES = MINUTES_PER_DAY
 #: (everything between the header and the payloads), so zone maps and
 #: metadata are tamper-evident even though pruned payloads are never
 #: read.
-_HEADER = struct.Struct("<4sHHIIIQI")
+_FILE_HEADER = struct.Struct("<4sHHIIIQI")
+FILE_HEADER_SIZE = 32
 _HEADER_CRC = struct.Struct("<I")
-HEADER_BYTES = _HEADER.size + _HEADER_CRC.size  # 36
+HEADER_CRC_SIZE = 4
+HEADER_BYTES = FILE_HEADER_SIZE + HEADER_CRC_SIZE  # 36
 
 #: v2/v3 per-server fixed fields: region_idx | engine_idx | true_class_idx
 #: | backup_start | backup_end | backup_duration | n_chunks
 _SERVER_FIXED = struct.Struct("<IIIqqII")
+SERVER_FIXED_ENTRY_SIZE = 36
 #: v2 per-chunk header: n_points | min_ts | max_ts | payload_crc
-_CHUNK_HEADER = struct.Struct("<QqqI")
+_CHUNK_HEADER_V2 = struct.Struct("<QqqI")
+CHUNK_HEADER_V2_ENTRY_SIZE = 28
 #: v3 per-chunk header: n_points | min_ts | max_ts | ts_crc | vs_crc --
 #: one CRC per column buffer, so a projected read can verify only the
 #: buffers it actually ingests.
 _CHUNK_HEADER_V3 = struct.Struct("<QqqII")
+CHUNK_HEADER_V3_ENTRY_SIZE = 32
 #: v4 per-chunk header: the v3 fields plus pre-aggregates of the values
 #: buffer (sum | min | max | sum-of-squares), so aggregate queries can
 #: answer fully covered chunks without reading their payload.  Covered by
 #: the structure CRC like every other chunk-header field.
 _CHUNK_HEADER_V4 = struct.Struct("<QqqIIdddd")
+CHUNK_HEADER_V4_ENTRY_SIZE = 64
 #: v1 per-server chunk: region_idx | engine_idx | true_class_idx
 #: | backup_start | backup_end | backup_duration | n_points | min_ts
 #: | max_ts | payload_crc
 _CHUNK_FIXED_V1 = struct.Struct("<IIIqqIQqqI")
+CHUNK_FIXED_V1_ENTRY_SIZE = 60
 _STRING_LEN = struct.Struct("<H")
+STRING_LEN_SIZE = 2
 
 #: Sentinel zone map of an empty chunk: min > max can match no range.
 _EMPTY_MIN_TS = 0
@@ -307,7 +315,7 @@ def frame_to_sgx_bytes(frame: LoadFrame, chunk_minutes: int = DEFAULT_CHUNK_MINU
         body_parts.append(record_header)
         body_parts.extend(payloads)
     body = b"".join(body_parts)
-    header = _HEADER.pack(
+    header = _FILE_HEADER.pack(
         MAGIC,
         VERSION,
         0,
@@ -373,11 +381,11 @@ def _parse_header(view: memoryview) -> tuple[int, int, int, int, int]:
         n_dict,
         file_length,
         structure_crc,
-    ) = _HEADER.unpack_from(view, 0)
+    ) = _FILE_HEADER.unpack_from(view, 0)
     if magic != MAGIC:
         raise ColumnarFormatError(f"not an .sgx extract (magic {magic!r})")
-    (header_crc,) = _HEADER_CRC.unpack_from(view, _HEADER.size)
-    if zlib.crc32(view[: _HEADER.size]) != header_crc:
+    (header_crc,) = _HEADER_CRC.unpack_from(view, _FILE_HEADER.size)
+    if zlib.crc32(view[: _FILE_HEADER.size]) != header_crc:
         raise ColumnarFormatError("garbled .sgx extract: header checksum mismatch")
     if version not in SUPPORTED_VERSIONS:
         supported = ", ".join(str(v) for v in SUPPORTED_VERSIONS)
@@ -467,12 +475,11 @@ def _parse_structure(view: memoryview):
                     )
                 fields = _SERVER_FIXED.unpack_from(view, position)
                 n_chunks = fields[6]
-                if version >= 4:
-                    chunk_struct = _CHUNK_HEADER_V4
-                elif version == 3:
-                    chunk_struct = _CHUNK_HEADER_V3
-                else:
-                    chunk_struct = _CHUNK_HEADER
+                chunk_struct = (
+                    _CHUNK_HEADER_V4
+                    if version >= 4
+                    else _CHUNK_HEADER_V3 if version == 3 else _CHUNK_HEADER_V2
+                )
                 table_offset = position + _SERVER_FIXED.size
                 table_end = table_offset + n_chunks * chunk_struct.size
                 if table_end > total:
@@ -719,7 +726,7 @@ def scan_sgx_bytes(
         elif len(kept_ts) == 1:
             timestamps, values = kept_ts[0], kept_vs[0]
         else:
-            for prev, nxt in zip(kept_ts, kept_ts[1:]):
+            for prev, nxt in zip(kept_ts, kept_ts[1:], strict=False):
                 if int(nxt[0]) <= int(prev[-1]):
                     raise ColumnarFormatError(
                         f"garbled .sgx extract: out-of-order chunks for server {server_id!r}"
@@ -1016,7 +1023,7 @@ def upgrade_sgx_bytes(data) -> bytes:
         body_parts.append(record_header)
         body_parts.extend(payloads)
     body = b"".join(body_parts)
-    header = _HEADER.pack(
+    header = _FILE_HEADER.pack(
         MAGIC,
         VERSION,
         0,

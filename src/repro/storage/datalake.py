@@ -287,10 +287,11 @@ class DataLakeStore:
 
     def _query_keys(self, q: ExtractQuery, principal: str | None) -> list[ExtractKey]:
         """Extract keys inside ``q``'s partition scope, sorted."""
-        if q.regions is not None and len(q.regions) == 1:
-            keys = self.list_extracts(q.regions[0], principal=principal)
-        else:
-            keys = self.list_extracts(principal=principal)
+        keys = (
+            self.list_extracts(q.regions[0], principal=principal)
+            if q.regions is not None and len(q.regions) == 1
+            else self.list_extracts(principal=principal)
+        )
         return [key for key in keys if q.matches_key(key)]
 
     def _read_csv_for_query(
@@ -738,10 +739,11 @@ class DataLakeStore:
             if region is not None:
                 keys = [key for key in keys if key.region == region]
             return keys
-        if region is not None:
-            region_dirs = [self._root / region]
-        else:
-            region_dirs = sorted(path for path in self._root.iterdir() if path.is_dir())
+        region_dirs = (
+            [self._root / region]
+            if region is not None
+            else sorted(path for path in self._root.iterdir() if path.is_dir())
+        )
         found: set[ExtractKey] = set()
         for region_dir in region_dirs:
             if not region_dir.is_dir():

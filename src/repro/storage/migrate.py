@@ -304,10 +304,10 @@ def convert_lake(
                         freed += lake.extract_size_bytes(key, principal=principal, fmt=leftover)
                         lake.delete_extract(key, principal=principal, fmt=leftover)
                 deleted = tuple(leftovers) if delete_source and leftovers else ()
-                if upgrade_record is not None:
-                    record = replace(upgrade_record, deleted_formats=deleted, bytes_freed=freed)
-                else:
-                    record = ConversionRecord(
+                record = (
+                    replace(upgrade_record, deleted_formats=deleted, bytes_freed=freed)
+                    if upgrade_record is not None
+                    else ConversionRecord(
                         key=key,
                         source_format=to_format,
                         target_format=to_format,
@@ -318,6 +318,7 @@ def convert_lake(
                         deleted_formats=deleted,
                         bytes_freed=freed,
                     )
+                )
                 report.records.append(record)
                 continue
         source_format = formats[0]

@@ -181,7 +181,7 @@ class LoadFrame:
     def filter(self, predicate: Callable[[ServerMetadata, LoadSeries], bool]) -> "LoadFrame":
         """Return a new frame containing servers for which ``predicate`` holds."""
         out = LoadFrame(self._interval)
-        for server_id, metadata, series in self.items():
+        for _server_id, metadata, series in self.items():
             if predicate(metadata, series):
                 out.add_server(metadata, series)
         return out
@@ -197,7 +197,7 @@ class LoadFrame:
     def slice_time(self, start: int, end: int) -> "LoadFrame":
         """Return a new frame with every series cut to ``[start, end)``."""
         out = LoadFrame(self._interval)
-        for server_id, metadata, series in self.items():
+        for _server_id, metadata, series in self.items():
             out.add_server(metadata, series.slice(start, end))
         return out
 
@@ -229,9 +229,9 @@ class LoadFrame:
         if other.interval_minutes != self._interval:
             raise ValueError("cannot merge frames with different intervals")
         out = LoadFrame(self._interval)
-        for server_id, metadata, series in self.items():
+        for _server_id, metadata, series in self.items():
             out.add_server(metadata, series)
-        for server_id, metadata, series in other.items():
+        for _server_id, metadata, series in other.items():
             out.add_server(metadata, series, overwrite=overwrite)
         return out
 

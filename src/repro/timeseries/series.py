@@ -117,7 +117,7 @@ class LoadSeries:
         return int(self._timestamps.shape[0])
 
     def __iter__(self) -> Iterator[tuple[int, float]]:
-        for ts, value in zip(self._timestamps.tolist(), self._values.tolist()):
+        for ts, value in zip(self._timestamps.tolist(), self._values.tolist(), strict=True):
             yield int(ts), float(value)
 
     def __eq__(self, other: object) -> bool:
@@ -363,5 +363,5 @@ class LoadSeries:
         """Return ``(server_id, timestamp, value)`` rows for CSV export."""
         return [
             (server_id, int(ts), float(value))
-            for ts, value in zip(self._timestamps.tolist(), self._values.tolist())
+            for ts, value in zip(self._timestamps.tolist(), self._values.tolist(), strict=True)
         ]

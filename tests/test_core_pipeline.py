@@ -5,6 +5,7 @@ import pytest
 
 from repro.core.config import PipelineConfig
 from repro.core.pipeline import PIPELINE_COMPONENTS, SeagullPipeline
+from repro.core.registry import DeploymentError
 from repro.storage.datalake import DataLakeStore, ExtractKey
 from repro.storage.documentdb import DocumentStore
 from repro.telemetry.fleet import default_fleet_spec
@@ -113,7 +114,7 @@ class TestPipelineFailurePaths:
 
     def test_run_from_lake_without_lake_raises(self):
         pipeline = SeagullPipeline(PipelineConfig())
-        with pytest.raises(Exception):
+        with pytest.raises(DeploymentError):
             pipeline.run_from_lake("region-0", 0)
 
     def test_accuracy_regression_triggers_fallback(self, fleet_frame):
@@ -216,7 +217,7 @@ class TestArtifactCachedPipeline:
         )
         # Perturb one server's load: every stage must recompute.
         changed = Frame(small_frame.interval_minutes)
-        for index, (sid, metadata, series) in enumerate(small_frame.items()):
+        for index, (_sid, metadata, series) in enumerate(small_frame.items()):
             if index == 0:
                 series = series.with_values(series.values + 1.0)
             changed.add_server(metadata, series)
@@ -316,7 +317,7 @@ class TestEndToEndFromLake:
             query.extract_week("region-0", week)
         for week in range(4):
             weekly = lake.read_extract(ExtractKey("region-0", week))
-            for sid, metadata, series in weekly.items():
+            for sid, _metadata, _series in weekly.items():
                 if sid in merged:
                     merged = merged.merge(
                         LoadFrame(5)

@@ -223,7 +223,7 @@ class TestOrchestratorCaching:
         ) as orchestrator:
             cold = orchestrator.run()
             warm = orchestrator.run()
-        for before, after in zip(cold.outcomes, warm.outcomes):
+        for before, after in zip(cold.outcomes, warm.outcomes, strict=True):
             assert after.region == before.region and after.week == before.week
             assert after.summary == before.summary
             assert after.n_predictable == before.n_predictable
@@ -369,7 +369,7 @@ class TestColumnarFleetRuns:
         with FleetOrchestrator(sgx_lake, PipelineConfig()) as orchestrator:
             from_sgx = orchestrator.run()
         assert from_sgx.n_succeeded == from_csv.n_succeeded == 2
-        for csv_outcome, sgx_outcome in zip(from_csv.outcomes, from_sgx.outcomes):
+        for csv_outcome, sgx_outcome in zip(from_csv.outcomes, from_sgx.outcomes, strict=True):
             assert sgx_outcome.summary == csv_outcome.summary
             assert sgx_outcome.n_predictable == csv_outcome.n_predictable
 
@@ -856,7 +856,7 @@ class TestScanRollup:
         ) as orchestrator:
             cold = orchestrator.run()
             warm = orchestrator.run()
-        for before, after in zip(cold.outcomes, warm.outcomes):
+        for before, after in zip(cold.outcomes, warm.outcomes, strict=True):
             assert after.from_unit_cache
             assert after.scan == before.scan
 

@@ -160,9 +160,8 @@ class TestExecutorLifecycle:
     def test_reenter_after_close_raises(self):
         executor = PartitionedExecutor()
         executor.close()
-        with pytest.raises(RuntimeError):
-            with executor:
-                pass  # pragma: no cover - never reached
+        with pytest.raises(RuntimeError), executor:
+            pass  # pragma: no cover - never reached
 
     def test_close_is_idempotent(self):
         executor = PartitionedExecutor("threads", n_workers=2)

@@ -88,7 +88,7 @@ class TestLowestLoadWindowProperties:
     def test_window_lies_within_the_day(self, values):
         series = LoadSeries.from_values(np.asarray(values), interval_minutes=5)
         window = lowest_load_window(series, 0, 60)
-        assert 0 <= window.start
+        assert window.start >= 0
         assert window.end <= MINUTES_PER_DAY
 
 

@@ -126,6 +126,27 @@ class TestCorruptionFallback:
         assert store.get(key) is None
         assert store.stats.corrupt_entries == 1
 
+    def test_failed_eviction_is_recorded_not_swallowed(self):
+        # A corrupt entry whose eviction itself fails must still read as a
+        # miss, and the failure must be visible in stats rather than
+        # silently dropped.
+        class StubbornStore(DocumentStore):
+            def delete(self, container, key):
+                raise RuntimeError("backing store refused the delete")
+
+        backing = StubbornStore()
+        store = ArtifactStore(backing)
+        key = artifact_key("features", "h", {})
+        store.put(key, {"x": 1})
+        document = backing.get(ARTIFACTS_CONTAINER, key)
+        body = dict(document.body)
+        body["payload"] = {"x": 2}
+        backing.upsert(ARTIFACTS_CONTAINER, key, body)
+        assert store.get(key) is None
+        assert store.stats.corrupt_entries == 1
+        assert store.stats.failed_evictions == 1
+        assert store.stats.as_dict()["failed_evictions"] == 1
+
     def test_unreadable_persisted_file_recovers(self, tmp_path):
         path = tmp_path / "artifacts.json"
         store = ArtifactStore.at(path)

@@ -425,7 +425,7 @@ class TestChunking:
         payloads, table = [], b""
         for ts in (day1_ts, day0_ts):  # wrong order on purpose
             payload = ts.tobytes() + vs.tobytes()
-            table += columnar._CHUNK_HEADER.pack(
+            table += columnar._CHUNK_HEADER_V2.pack(
                 ts.shape[0], int(ts[0]), int(ts[-1]), _zlib.crc32(payload)
             )
             payloads.append(payload)
@@ -433,7 +433,7 @@ class TestChunking:
         record = packed("srv-0") + columnar._SERVER_FIXED.pack(0, 1, 2, 0, 0, 60, 2) + table
         structure_crc = _zlib.crc32(record, _zlib.crc32(dict_section))
         body = dict_section + record + b"".join(payloads)
-        header = columnar._HEADER.pack(
+        header = columnar._FILE_HEADER.pack(
             MAGIC, 2, 0, 5, 1, 3, HEADER_BYTES + len(body), structure_crc
         )
         data = header + _struct.pack("<I", _zlib.crc32(header)) + body
@@ -689,7 +689,7 @@ class TestStreamingScan:
         dict_section = packed("r") + packed("e") + packed("")
         structure_crc = zlib.crc32(record, zlib.crc32(record, zlib.crc32(dict_section)))
         body = dict_section + record + payload + record + payload
-        header = columnar._HEADER.pack(
+        header = columnar._FILE_HEADER.pack(
             MAGIC, 3, 0, 5, 2, 3, HEADER_BYTES + len(body), structure_crc
         )
         data = header + struct.pack("<I", zlib.crc32(header)) + body

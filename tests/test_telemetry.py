@@ -106,12 +106,12 @@ class TestWorkloadGenerator:
             assert series.maximum() <= 100.0
 
     def test_short_lived_servers_are_short(self, small_fleet):
-        for server_id, metadata, series in small_fleet.items():
+        for _server_id, metadata, series in small_fleet.items():
             if metadata.true_class == "short_lived":
                 assert series.span_days < 21
 
     def test_long_lived_servers_cover_horizon(self, small_fleet):
-        for server_id, metadata, series in small_fleet.items():
+        for _server_id, metadata, series in small_fleet.items():
             if metadata.true_class != "short_lived":
                 assert series.span_days == pytest.approx(28.0)
 

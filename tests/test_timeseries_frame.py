@@ -130,7 +130,7 @@ class TestTransform:
 class TestCsvRoundTrip:
     def test_rows_roundtrip(self):
         frame = build_frame(3, points=4)
-        rows = [dict(zip(LoadFrame.CSV_HEADER, row)) for row in frame.to_rows()]
+        rows = [dict(zip(LoadFrame.CSV_HEADER, row, strict=True)) for row in frame.to_rows()]
         rebuilt = LoadFrame.from_rows(rows)
         assert rebuilt.server_ids() == frame.server_ids()
         for sid in frame.server_ids():

@@ -65,7 +65,7 @@ class TestSpanAndAccessors:
 
     def test_start_of_empty_raises(self):
         with pytest.raises(ValueError):
-            LoadSeries.empty().start
+            _ = LoadSeries.empty().start
 
     def test_span_counts_final_interval(self):
         series = make_series([1, 2, 3], start=0, interval=5)
