@@ -18,11 +18,14 @@ lint: invariants
 	ruff check .
 
 ## Repo-specific AST invariant linter (api-boundary, import-layering,
-## lock-discipline, format-invariants, frozen-dataclass, broad-except).
+## lock-discipline, format-invariants, frozen-dataclass, broad-except,
+## manifest-boundary).
 invariants:
 	PYTHONPATH=src python -m repro.devtools.lint src
 
-## Mypy over the typed API surface (requires mypy; CI installs it).
+## Mypy over the typed API surface, storage (with its manifest
+## subsystem), serving, fleet_ops and parallel (requires mypy; CI
+## installs it).
 typecheck:
 	python -m mypy src/repro/storage src/repro/serving src/repro/fleet_ops src/repro/parallel
 
@@ -32,11 +35,11 @@ test:
 
 ## Quick benchmark smoke: the jobs CI runs on every PR.
 bench-smoke:
-	python -m pytest benchmarks -q -k "classification or fig12a or columnar or serving or query or aggregates"
+	python -m pytest benchmarks tests/test_crash_recovery.py -q -k "classification or fig12a or columnar or serving or query or aggregates or crash"
 
 ## Benchmark smoke + regression gate against the committed BENCH_seed.json.
 bench-baseline:
-	python -m pytest benchmarks -q -k "classification or fig12a or columnar or serving or query or aggregates" \
+	python -m pytest benchmarks tests/test_crash_recovery.py -q -k "classification or fig12a or columnar or serving or query or aggregates or crash" \
 		--bench-json BENCH_current.json
 	python scripts/bench_baseline.py BENCH_current.json
 

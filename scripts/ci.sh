@@ -31,7 +31,7 @@ echo "== invariants (repo-specific AST linter) =="
 PYTHONPATH=src python -m repro.devtools.lint src
 
 echo
-echo "== typecheck (mypy: storage + serving + fleet_ops + parallel) =="
+echo "== typecheck (mypy: storage incl. manifest + serving + fleet_ops + parallel) =="
 if python -c "import mypy" >/dev/null 2>&1; then
     python -m mypy src/repro/storage src/repro/serving src/repro/fleet_ops src/repro/parallel
 else
@@ -50,8 +50,8 @@ if python -c "import pytest_timeout" >/dev/null 2>&1; then
 fi
 bench_json="$(mktemp -t bench-XXXXXX.json)"
 trap 'rm -f "${bench_json}"' EXIT
-python -m pytest benchmarks -q \
-    -k "classification or fig12a or columnar or serving or query or aggregates" \
+python -m pytest benchmarks tests/test_crash_recovery.py -q \
+    -k "classification or fig12a or columnar or serving or query or aggregates or crash" \
     ${timeout_flag} --bench-json "${bench_json}"
 python scripts/bench_baseline.py "${bench_json}"
 

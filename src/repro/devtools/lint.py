@@ -52,6 +52,16 @@ Rules
     ``continue``) is rejected -- degradation paths must re-raise or
     record what they dropped.
 
+``manifest-boundary``
+    Lake payload files (the ``.sgx``/CSV extract segments) are owned by
+    the transactional manifest (:mod:`repro.storage.manifest`): a direct
+    ``write_bytes``/``write_text``/``unlink`` -- or ``open`` for writing
+    -- whose expression resolves an extract path (an ``.sgx``/``.csv``
+    filename literal, ``ExtractKey.filename(...)``,
+    ``DataLakeStore.extract_path(...)``) outside that package is a
+    finding; mutations must go through a manifest transaction so they
+    stay crash-safe and atomic.
+
 Suppression
 -----------
 A finding is suppressible only via an inline pragma carrying a reason::
@@ -139,6 +149,7 @@ RULES: tuple[str, ...] = (
     "format-invariants",
     "frozen-dataclass",
     "broad-except",
+    "manifest-boundary",
 )
 
 #: Engine diagnostics (not suppressible, not selectable off).
@@ -151,6 +162,7 @@ RULE_DESCRIPTIONS: dict[str, str] = {
     "format-invariants": ".sgx struct/size-constant drift or magic literal outside columnar.py",
     "frozen-dataclass": "object.__setattr__ outside a frozen dataclass __post_init__",
     "broad-except": "bare/broad except swallowing in storage or serving",
+    "manifest-boundary": "direct write/unlink of lake payload files outside repro.storage.manifest",
     "bad-pragma": "malformed suppression pragma (unknown rule or missing reason)",
     "unused-pragma": "suppression pragma that suppresses nothing",
     "parse-error": "file does not parse",
@@ -662,6 +674,81 @@ def _rule_frozen_dataclass(ctx: _Context):
 
 
 # --------------------------------------------------------------------- #
+# Rule: manifest-boundary
+# --------------------------------------------------------------------- #
+
+#: The one package allowed to create, replace or unlink lake payload
+#: files -- everybody else mutates a lake through a manifest transaction
+#: (``DataLakeStore.write_extract*`` / ``delete_extract``), never by
+#: touching the files.
+MANIFEST_OWNER = "repro.storage.manifest"
+
+#: Path methods that mutate a file in place.
+_PAYLOAD_WRITE_CALLS = frozenset({"write_bytes", "write_text", "unlink"})
+
+#: Calls that resolve a lake payload path; their presence in a mutation's
+#: expression marks the target as lake-owned.
+_PAYLOAD_PATH_CALLS = frozenset({"filename", "extract_path"})
+
+
+def _mentions_payload_path(node: ast.AST) -> bool:
+    """Whether ``node``'s expression tree involves a lake payload path:
+    an extract filename literal (``.sgx``/``.csv``) or a call to the
+    path-resolving helpers (``ExtractKey.filename``,
+    ``DataLakeStore.extract_path``)."""
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Constant)
+            and isinstance(sub.value, str)
+            and (".sgx" in sub.value or ".csv" in sub.value)
+        ):
+            return True
+        if isinstance(sub, ast.Call) and _call_name(sub.func) in _PAYLOAD_PATH_CALLS:
+            return True
+    return False
+
+
+def _is_write_mode(node: ast.Call) -> bool:
+    candidates: list[ast.AST] = list(node.args[1:2])
+    candidates.extend(kw.value for kw in node.keywords if kw.arg == "mode")
+    for expr in candidates:
+        if (
+            isinstance(expr, ast.Constant)
+            and isinstance(expr.value, str)
+            and any(flag in expr.value for flag in ("w", "a", "x", "+"))
+        ):
+            return True
+    return False
+
+
+def _rule_manifest_boundary(ctx: _Context):
+    if _within(ctx.module, (MANIFEST_OWNER,)):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(node.func)
+        if name in _PAYLOAD_WRITE_CALLS and _mentions_payload_path(node):
+            yield Finding(
+                ctx.display_path,
+                node.lineno,
+                "manifest-boundary",
+                f"direct {name}() of a lake payload file outside "
+                f"{MANIFEST_OWNER}; mutate lakes through a manifest "
+                "transaction (DataLakeStore.write_extract*/delete_extract)",
+            )
+        elif name == "open" and _is_write_mode(node) and _mentions_payload_path(node):
+            yield Finding(
+                ctx.display_path,
+                node.lineno,
+                "manifest-boundary",
+                f"open() of a lake payload file for writing outside "
+                f"{MANIFEST_OWNER}; mutate lakes through a manifest "
+                "transaction (DataLakeStore.write_extract*/delete_extract)",
+            )
+
+
+# --------------------------------------------------------------------- #
 # Rule: broad-except
 # --------------------------------------------------------------------- #
 
@@ -716,6 +803,7 @@ _RULE_FUNCTIONS = {
     "format-invariants": _rule_format_invariants,
     "frozen-dataclass": _rule_frozen_dataclass,
     "broad-except": _rule_broad_except,
+    "manifest-boundary": _rule_manifest_boundary,
 }
 
 

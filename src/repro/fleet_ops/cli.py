@@ -1,6 +1,6 @@
 """Command-line entry point: ``python -m repro.fleet_ops``.
 
-Two commands:
+Four commands:
 
 * the default (no subcommand) generates (or reuses) a synthetic
   multi-region lake, runs the fleet orchestrator over every
@@ -10,7 +10,13 @@ Two commands:
   cache);
 * ``python -m repro.fleet_ops convert`` migrates an existing lake in
   place between the CSV and columnar ``.sgx`` extract formats and prints
-  a rollup of extracts, rows and bytes converted.
+  a rollup of extracts, rows and bytes converted;
+* ``python -m repro.fleet_ops manifest`` inspects a lake's transactional
+  manifest: committed generation, segment files, log records, and any
+  crash leftovers recovery would clean up;
+* ``python -m repro.fleet_ops gc`` physically reclaims segment files and
+  generations no longer referenced by the current committed generation
+  (deletes are logical until this runs).
 """
 
 from __future__ import annotations
@@ -170,6 +176,109 @@ def convert_main(argv: list[str]) -> int:
     return 0
 
 
+def build_manifest_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fleet_ops manifest",
+        description="Inspect a lake's transactional manifest: committed "
+        "generation, segment files and transaction log.",
+    )
+    parser.add_argument("--lake-dir", required=True, help="root directory of the lake")
+    parser.add_argument("--json", action="store_true", help="emit the state as JSON")
+    return parser
+
+
+def manifest_main(argv: list[str]) -> int:
+    from repro.storage.manifest import LakeManifest, LakeManifestError
+
+    args = build_manifest_parser().parse_args(argv)
+    if not Path(args.lake_dir).is_dir():
+        print(f"--lake-dir {args.lake_dir!r} does not exist", file=sys.stderr)
+        return 2
+    manifest = LakeManifest(Path(args.lake_dir))
+    try:
+        snapshot = manifest.current()
+    except LakeManifestError as exc:
+        print(f"manifest unreadable: {exc}", file=sys.stderr)
+        return 1
+    records = manifest.log.records()
+    pending = manifest.log.pending()
+    if args.json:
+        payload = {
+            "root": str(manifest.root),
+            "adopted": manifest.exists(),
+            "snapshot": snapshot.as_dict(),
+            "log_records": len(records),
+            "pending_txid": pending.txid if pending is not None else None,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"Lake manifest: {manifest.root}")
+    if manifest.exists():
+        txid = snapshot.txid if snapshot.txid is not None else "-"
+        print(f"Committed generation: {snapshot.generation} (txid {txid})")
+    else:
+        print(
+            "Committed generation: 0 (legacy lake, inferred from directory "
+            "layout; the first mutation adopts it into a manifest)"
+        )
+    total = sum(entry.size for entry in snapshot.segments)
+    print(f"Segments: {len(snapshot.segments)} ({total} bytes)")
+    for entry in snapshot.segments:
+        sha = entry.sha256[:12] if entry.sha256 is not None else "legacy"
+        print(
+            f"  {entry.region} week {entry.week}: .{entry.fmt} "
+            f"{entry.size} bytes [{sha}] {entry.relpath}"
+        )
+    suffix = (
+        f"pending transaction {pending.txid} (unresolved until recovery)"
+        if pending is not None
+        else "no pending transaction"
+    )
+    print(f"Transaction log: {len(records)} record(s), {suffix}")
+    return 0
+
+
+def build_gc_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fleet_ops gc",
+        description="Physically reclaim lake files no longer referenced by "
+        "the current committed generation (deletes are logical until this "
+        "runs). Invalidates readers pinned to older generations.",
+    )
+    parser.add_argument("--lake-dir", required=True, help="root directory of the lake")
+    parser.add_argument("--json", action="store_true", help="emit the report as JSON")
+    return parser
+
+
+def gc_main(argv: list[str]) -> int:
+    from repro.storage.manifest import LakeManifest, LakeManifestError
+
+    args = build_gc_parser().parse_args(argv)
+    if not Path(args.lake_dir).is_dir():
+        print(f"--lake-dir {args.lake_dir!r} does not exist", file=sys.stderr)
+        return 2
+    manifest = LakeManifest(Path(args.lake_dir))
+    try:
+        report = manifest.collect_garbage()
+        generation = manifest.current().generation
+    except LakeManifestError as exc:
+        print(f"gc aborted: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        payload = dict(report.as_dict())
+        payload["generation"] = generation
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"Lake gc at generation {generation}: "
+        f"{report.segments_removed} segment file(s), "
+        f"{report.generations_removed} old generation snapshot(s) and "
+        f"{report.tmp_removed} temp file(s) removed, "
+        f"{report.bytes_freed} bytes freed"
+    )
+    return 0
+
+
 def run_main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -235,4 +344,8 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "convert":
         return convert_main(argv[1:])
+    if argv and argv[0] == "manifest":
+        return manifest_main(argv[1:])
+    if argv and argv[0] == "gc":
+        return gc_main(argv[1:])
     return run_main(argv)

@@ -93,6 +93,10 @@ class _UnitTask:
     lake_root: str
     query: ExtractQuery
     cache_dir: str | None = None
+    #: Committed manifest generation the worker pins its lake handle to:
+    #: every unit of one fleet run reads the same immutable snapshot,
+    #: however the live lake moves underneath it.
+    generation: int | None = None
 
 
 def _failed_outcome(task: _UnitTask, reason: str, wall: float) -> FleetUnitOutcome:
@@ -129,7 +133,7 @@ def _execute_unit(task: _UnitTask) -> FleetUnitOutcome:
     """
     started = time.perf_counter()
     key = ExtractKey(region=task.region, week=task.week)
-    lake = DataLakeStore(task.lake_root)
+    lake = DataLakeStore(task.lake_root, pinned_generation=task.generation)
 
     # Fingerprint the raw extract bytes (no parsing yet).  The digest
     # covers the stored representation, so converting a lake to .sgx
@@ -377,7 +381,9 @@ class FleetOrchestrator:
             self._spill_signatures[key] = signature
         return self._spill_dir
 
-    def _task_for(self, key: ExtractKey, lake_root: str) -> _UnitTask:
+    def _task_for(
+        self, key: ExtractKey, lake_root: str, generation: int
+    ) -> _UnitTask:
         return _UnitTask(
             region=key.region,
             week=key.week,
@@ -387,6 +393,7 @@ class FleetOrchestrator:
                 key, interval_minutes=self._config.interval_minutes
             ),
             cache_dir=self._cache_dir,
+            generation=generation,
         )
 
     def run(self, units: list[ExtractKey] | None = None) -> FleetReport:
@@ -407,7 +414,16 @@ class FleetOrchestrator:
         units = sorted(units)
         root = self._lake.root
         lake_root = str(root) if root is not None else self._spill_to_disk(units)
-        tasks = [self._task_for(key, lake_root) for key in units]
+        # Pin the whole run to the lake's current committed generation:
+        # every worker reads the same immutable snapshot, so a writer
+        # publishing mid-run cannot make two units disagree about the
+        # lake's contents.  (Spill lakes get their generation from the
+        # spill directory's own manifest.)
+        if root is not None:
+            generation = self._lake.current_generation(principal=self._principal)
+        else:
+            generation = DataLakeStore(lake_root).current_generation()
+        tasks = [self._task_for(key, lake_root, generation) for key in units]
         if self._executor is None:
             # Deferred so the owned pool can be sized by the fleet
             # heuristic for the actual unit count; later runs reuse it.
@@ -418,4 +434,5 @@ class FleetOrchestrator:
             backend=self._executor.backend.value,
             n_workers=self._executor.n_workers,
             wall_seconds=time.perf_counter() - started,
+            lake_generation=generation,
         )

@@ -126,6 +126,9 @@ class FleetReport:
     backend: str
     n_workers: int
     wall_seconds: float
+    #: Committed lake manifest generation every worker was pinned to
+    #: (``None`` on reports predating generation pinning).
+    lake_generation: int | None = None
     _by_region: dict[str, list[FleetUnitOutcome]] = field(
         init=False, repr=False, default_factory=dict
     )
@@ -344,6 +347,7 @@ class FleetReport:
             "backend": self.backend,
             "n_workers": self.n_workers,
             "wall_seconds": self.wall_seconds,
+            "lake_generation": self.lake_generation,
             "n_units": self.n_units,
             "n_succeeded": self.n_succeeded,
             "n_failed": self.n_failed,
@@ -366,6 +370,8 @@ class FleetReport:
             f"{self.n_failed} failed) on backend={self.backend} "
             f"workers={self.n_workers} in {self.wall_seconds:.2f}s"
         )
+        if self.lake_generation is not None:
+            lines.append(f"Lake manifest generation: {self.lake_generation}")
         lines.append("")
         header = f"{'region':<14}{'units':>6}{'servers':>9}{'predictable':>13}{'compute s':>11}{'cached':>8}"
         lines.append(header)

@@ -26,6 +26,11 @@
   fully covered chunks.
 * :mod:`~repro.storage.migrate` -- in-place lake conversion between the
   CSV and ``.sgx`` extract formats (the ``convert`` CLI's engine).
+* :mod:`~repro.storage.manifest` -- the transactional lake manifest:
+  generation-numbered, atomically published snapshots over immutable
+  content-addressed segment files, an append-only intent/commit log, and
+  crash recovery -- the durability layer every on-disk
+  :class:`~repro.storage.datalake.DataLakeStore` mutation goes through.
 * :class:`~repro.storage.artifacts.ArtifactStore` -- a content-addressed
   cache of pipeline stage outputs keyed by extract content hash, which is
   what lets fleet re-runs skip recomputation on unchanged extracts.
@@ -54,6 +59,13 @@ from repro.storage.columnar import (
 from repro.storage.csv_io import read_frame_csv, write_frame_csv
 from repro.storage.datalake import EXTRACT_FORMATS, DataLakeStore, ExtractKey
 from repro.storage.documentdb import Document, DocumentStore
+from repro.storage.manifest import (
+    GcReport,
+    LakeManifest,
+    LakeManifestError,
+    ManifestSnapshot,
+    SegmentEntry,
+)
 from repro.storage.migrate import LakeConversionReport, convert_lake
 from repro.storage.query import ExtractQuery, QueryError, QueryResult, ScanStats
 from repro.timeseries.calendar import MAX_MINUTE, MIN_MINUTE
@@ -92,4 +104,9 @@ __all__ = [
     "artifact_key",
     "convert_lake",
     "LakeConversionReport",
+    "GcReport",
+    "LakeManifest",
+    "LakeManifestError",
+    "ManifestSnapshot",
+    "SegmentEntry",
 ]

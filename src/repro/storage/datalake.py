@@ -27,6 +27,22 @@ post-parse equivalents, so both formats answer identically) and
 :meth:`DataLakeStore.scan` streams the same answer one server at a time.
 ``read_extract`` remains as a thin back-compat shim that builds a query
 internally.
+
+Durability is the manifest subsystem's job
+(:mod:`repro.storage.manifest`): on-disk lakes keep their truth in a
+generation-numbered manifest pointing at immutable, content-addressed
+segment files, every mutation is an intent-logged transaction published
+atomically via ``os.replace``, and every read operation resolves one
+committed :class:`~repro.storage.manifest.ManifestSnapshot` up front --
+so a query racing a writer answers entirely from the generation it
+started on, never a mix.  Deletes retire files logically; physical
+reclaim is the explicit ``gc`` pass
+(:meth:`~repro.storage.manifest.LakeManifest.collect_garbage`).  Opening
+a store with ``pinned_generation=N`` yields a read-only view of exactly
+generation ``N`` (what out-of-process fleet workers do).  Pre-manifest
+lakes keep working: generation 0 is inferred from the legacy directory
+layout and the first mutation adopts it into a real manifest.  In-memory
+stores have no crash states and bypass the manifest entirely.
 """
 
 from __future__ import annotations
@@ -39,6 +55,12 @@ from pathlib import Path
 from repro.storage import columnar, csv_io
 from repro.storage.aggregate import AggregateAccumulator
 from repro.storage.columnar import ColumnarFormatError, SgxReadStats
+from repro.storage.manifest import (
+    LakeManifest,
+    LakeManifestError,
+    ManifestSnapshot,
+    SegmentEntry,
+)
 
 # Format names and validation live with the query types now; re-exported
 # here because this has always been their public import path.
@@ -63,6 +85,7 @@ __all__ = [
     "ExtractKey",
     "ExtractNotFoundError",
     "ExtractQuery",
+    "LakeManifestError",
     "QueryError",
     "QueryResult",
     "ScanStats",
@@ -112,6 +135,12 @@ class DataLakeStore:
         can prune time-range reads *within* a server.  ``None`` (the
         default) uses the columnar layer's per-day default; ``0`` writes
         one whole-series chunk per server.
+    pinned_generation:
+        When given (on-disk stores only), every read answers from exactly
+        that committed manifest generation, however far the live lake
+        moves on -- the fleet's unit of worker handoff.  A pinned store
+        is read-only; mutations raise
+        :class:`~repro.storage.manifest.LakeManifestError`.
     """
 
     def __init__(
@@ -120,6 +149,7 @@ class DataLakeStore:
         granted_principals: set[str] | None = None,
         write_format: str = "csv",
         chunk_minutes: int | None = None,
+        pinned_generation: int | None = None,
     ) -> None:
         self._root = Path(root) if root is not None else None
         if self._root is not None:
@@ -130,6 +160,14 @@ class DataLakeStore:
         if chunk_minutes is not None and chunk_minutes < 0:
             raise ValueError("chunk_minutes must be a non-negative number of minutes")
         self._chunk_minutes = chunk_minutes
+        self._manifest = LakeManifest(self._root) if self._root is not None else None
+        self._pinned: ManifestSnapshot | None = None
+        if pinned_generation is not None:
+            if self._manifest is None:
+                raise ValueError("pinned_generation requires an on-disk lake root")
+            # Loaded eagerly: generation files are immutable, so the pin
+            # is one read here and zero manifest I/O per query after.
+            self._pinned = self._manifest.snapshot_at(pinned_generation)
 
     # ------------------------------------------------------------------ #
 
@@ -147,6 +185,47 @@ class DataLakeStore:
     def chunk_minutes(self) -> int | None:
         """Configured ``.sgx`` chunking policy (``None``: columnar default)."""
         return self._chunk_minutes
+
+    @property
+    def manifest(self) -> LakeManifest | None:
+        """The lake's manifest handle (``None`` for in-memory stores)."""
+        return self._manifest
+
+    @property
+    def pinned_generation(self) -> int | None:
+        """Generation this store is pinned to (``None``: follow commits)."""
+        return self._pinned.generation if self._pinned is not None else None
+
+    def current_generation(self, principal: str | None = None) -> int:
+        """The committed manifest generation reads currently resolve to.
+
+        ``0`` for a legacy lake that has not been adopted yet; for pinned
+        stores, the pin.  In-memory stores have no manifest and raise
+        :class:`ValueError`.
+        """
+        self._check_access(principal)
+        snap = self._snapshot()
+        if snap is None:
+            raise ValueError("in-memory stores have no manifest generations")
+        return snap.generation
+
+    def extract_path(self, key: ExtractKey, fmt: str | None = None,
+                     principal: str | None = None) -> Path:
+        """Filesystem path of the stored copy backing ``key`` (the
+        preferred format, or ``fmt`` when forced).
+
+        The path is an *immutable segment file* owned by the manifest:
+        valid for reading (tests also use it to simulate disk damage),
+        never for writing -- mutations go through the write API so they
+        are published transactionally.  In-memory stores raise
+        :class:`ValueError`.
+        """
+        self._check_access(principal)
+        snap = self._snapshot()
+        if snap is None or self._root is None:
+            raise ValueError("in-memory extracts have no filesystem path")
+        fmt = self._resolve_format(key, fmt, snap)[0]
+        return self._root / self._entry(key, fmt, snap).relpath
 
     def check_access(self, principal: str | None = None) -> None:
         """Raise :class:`AccessDeniedError` unless ``principal`` is granted.
@@ -166,34 +245,56 @@ class DataLakeStore:
                 f"principal {principal!r} is not granted access to this data lake"
             )
 
-    def _path_for(self, key: ExtractKey, fmt: str) -> Path:
-        assert self._root is not None
-        return self._root / key.region / key.filename(fmt)
+    def _snapshot(self) -> ManifestSnapshot | None:
+        """The committed manifest generation this operation reads from.
 
-    def _stored_formats(self, key: ExtractKey) -> tuple[str, ...]:
+        Resolved once per public read operation and threaded through, so
+        one ``query()``/``scan()`` never mixes two generations however
+        many extracts it touches.  ``None`` for in-memory stores.
+        """
+        if self._manifest is None:
+            return None
+        if self._pinned is not None:
+            return self._pinned
+        return self._manifest.current()
+
+    def _entry(self, key: ExtractKey, fmt: str, snap: ManifestSnapshot) -> SegmentEntry:
+        entry = snap.entry(key.region, key.week, fmt)
+        if entry is None:
+            raise ExtractNotFoundError(f"no {fmt} extract for {key}")
+        return entry
+
+    def _stored_formats(
+        self, key: ExtractKey, snap: ManifestSnapshot | None
+    ) -> tuple[str, ...]:
         """Formats present for ``key``, in read-preference order."""
-        if self._root is None:
+        if snap is None:
             stored = self._memory.get(key, {})
             return tuple(fmt for fmt in EXTRACT_FORMATS if fmt in stored)
-        return tuple(
-            fmt for fmt in EXTRACT_FORMATS if self._path_for(key, fmt).exists()
-        )
+        return snap.formats(key.region, key.week)
 
-    def _stored_bytes(self, key: ExtractKey, fmt: str) -> bytes:
-        if self._root is None:
+    def _stored_bytes(
+        self, key: ExtractKey, fmt: str, snap: ManifestSnapshot | None
+    ) -> bytes:
+        if snap is None:
             return self._memory[key][fmt]
-        return self._path_for(key, fmt).read_bytes()
+        assert self._root is not None
+        return (self._root / self._entry(key, fmt, snap).relpath).read_bytes()
 
-    def _require_formats(self, key: ExtractKey) -> tuple[str, ...]:
-        formats = self._stored_formats(key)
+    def _require_formats(
+        self, key: ExtractKey, snap: ManifestSnapshot | None
+    ) -> tuple[str, ...]:
+        formats = self._stored_formats(key, snap)
         if not formats:
             raise ExtractNotFoundError(f"no extract for {key}")
         return formats
 
-    def _resolve_format(self, key: ExtractKey, fmt: str | None) -> tuple[str, ...]:
+    def _resolve_format(
+        self, key: ExtractKey, fmt: str | None, snap: ManifestSnapshot | None
+    ) -> tuple[str, ...]:
         """Stored formats to read ``key`` from: the preference-ordered list,
         or just ``fmt`` when one is forced (must exist)."""
-        formats = self._require_formats(key)
+        formats = self._require_formats(key, snap)
         if fmt is None:
             return formats
         check_format(fmt)
@@ -255,47 +356,63 @@ class DataLakeStore:
         self._check_access(principal)
         self._store_payload(key, check_format(fmt), bytes(payload), keep_other_formats)
 
+    def _require_writable(self) -> None:
+        if self._pinned is not None:
+            raise LakeManifestError(
+                f"store is pinned to generation {self._pinned.generation} "
+                "and therefore read-only"
+            )
+
     def _store_payload(
         self, key: ExtractKey, fmt: str, payload: bytes, keep_other_formats: bool
     ) -> None:
+        self._require_writable()
         others = () if keep_other_formats else tuple(o for o in EXTRACT_FORMATS if o != fmt)
-        if self._root is None:
+        if self._manifest is None:
             slot = self._memory.setdefault(key, {})
             slot[fmt] = payload
             for other in others:
                 slot.pop(other, None)
         else:
-            path = self._path_for(key, fmt)
-            path.parent.mkdir(parents=True, exist_ok=True)
-            preference = {name: rank for rank, name in enumerate(EXTRACT_FORMATS)}
-            # Ordering bounds what a crash mid-write can leave behind: a
-            # stale copy that would out-prefer the new file goes *before*
-            # the write (worst case: a loud missing extract), one the new
-            # file shadows goes after (worst case: a harmless leftover).
-            # Never both files with the stale one winning reads.
-            for other in others:
-                if preference[other] < preference[fmt]:
-                    self._path_for(key, other).unlink(missing_ok=True)
-            path.write_bytes(payload)
-            for other in others:
-                if preference[other] > preference[fmt]:
-                    self._path_for(key, other).unlink(missing_ok=True)
+            # One manifest transaction: the new segment is staged under a
+            # content-addressed name, fsync'd, and the write -- including
+            # dropping now-stale other-format entries -- becomes visible
+            # in one atomic pointer swap.  A crash at any point leaves
+            # readers on the previous committed generation.
+            with self._manifest.transaction(f"write {key.filename(fmt)}") as txn:
+                txn.stage(key.region, key.week, fmt, payload)
+                for other in others:
+                    txn.drop(key.region, key.week, other)
 
     # ------------------------------------------------------------------ #
     # The query surface (the one read path)
     # ------------------------------------------------------------------ #
 
-    def _query_keys(self, q: ExtractQuery, principal: str | None) -> list[ExtractKey]:
+    def _list_keys(
+        self, snap: ManifestSnapshot | None, region: str | None
+    ) -> list[ExtractKey]:
+        """Extract keys of ``snap`` (or the in-memory store), sorted."""
+        if snap is None:
+            keys = sorted(key for key in self._memory if self._memory[key])
+        else:
+            keys = [ExtractKey(region=r, week=w) for r, w in snap.keys()]
+        if region is not None:
+            keys = [key for key in keys if key.region == region]
+        return keys
+
+    def _query_keys(
+        self, q: ExtractQuery, snap: ManifestSnapshot | None
+    ) -> list[ExtractKey]:
         """Extract keys inside ``q``'s partition scope, sorted."""
-        keys = (
-            self.list_extracts(q.regions[0], principal=principal)
-            if q.regions is not None and len(q.regions) == 1
-            else self.list_extracts(principal=principal)
-        )
-        return [key for key in keys if q.matches_key(key)]
+        region = q.regions[0] if q.regions is not None and len(q.regions) == 1 else None
+        return [key for key in self._list_keys(snap, region) if q.matches_key(key)]
 
     def _read_csv_for_query(
-        self, key: ExtractKey, q: ExtractQuery, stats: ScanStats | None
+        self,
+        key: ExtractKey,
+        q: ExtractQuery,
+        stats: ScanStats | None,
+        snap: ManifestSnapshot | None,
     ) -> LoadFrame:
         """Parse ``key``'s CSV copy and apply ``q`` post-parse.
 
@@ -306,7 +423,7 @@ class DataLakeStore:
         series come up empty -- same as the ``.sgx`` path omitting
         servers with no samples in range.
         """
-        raw = self._stored_bytes(key, "csv")
+        raw = self._stored_bytes(key, "csv", snap)
         frame = csv_io.frame_from_csv_text(
             raw.decode("utf-8"),
             q.interval_minutes if q.interval_minutes is not None else DEFAULT_INTERVAL_MINUTES,
@@ -334,18 +451,22 @@ class DataLakeStore:
         return out
 
     def _read_one_for_query(
-        self, key: ExtractKey, q: ExtractQuery, stats: ScanStats | None
+        self,
+        key: ExtractKey,
+        q: ExtractQuery,
+        stats: ScanStats | None,
+        snap: ManifestSnapshot | None,
     ) -> LoadFrame:
         """Materialise ``q`` against one stored extract, negotiating the
         format (damaged ``.sgx`` degrades to a co-located CSV copy)."""
-        formats = self._resolve_format(key, q.fmt)
+        formats = self._resolve_format(key, q.fmt, snap)
         if stats is not None:
             stats.extracts_scanned += 1
         if formats[0] == "sgx":
             sgx_stats = SgxReadStats()
             try:
                 frame = columnar.frame_from_sgx_bytes(
-                    self._stored_bytes(key, "sgx"),
+                    self._stored_bytes(key, "sgx", snap),
                     q.interval_minutes,
                     start_minute=q.start_minute,
                     end_minute=q.end_minute,
@@ -361,7 +482,7 @@ class DataLakeStore:
                 if stats is not None:
                     stats.absorb_sgx(sgx_stats)
                 return frame
-        return self._read_csv_for_query(key, q, stats)
+        return self._read_csv_for_query(key, q, stats, snap)
 
     def _aggregate_csv(
         self,
@@ -369,6 +490,7 @@ class DataLakeStore:
         q: ExtractQuery,
         accumulator: AggregateAccumulator,
         stats: ScanStats | None,
+        snap: ManifestSnapshot | None,
     ) -> None:
         """Fold ``key``'s CSV copy into ``accumulator`` (post-parse path).
 
@@ -376,7 +498,7 @@ class DataLakeStore:
         and folded sample-by-sample -- the answer matches the ``.sgx``
         path exactly because both fold into the same accumulator algebra.
         """
-        raw = self._stored_bytes(key, "csv")
+        raw = self._stored_bytes(key, "csv", snap)
         frame = csv_io.frame_from_csv_text(
             raw.decode("utf-8"),
             q.interval_minutes if q.interval_minutes is not None else DEFAULT_INTERVAL_MINUTES,
@@ -406,6 +528,7 @@ class DataLakeStore:
         q: ExtractQuery,
         accumulator: AggregateAccumulator,
         stats: ScanStats | None,
+        snap: ManifestSnapshot | None,
     ) -> None:
         """Fold one stored extract into ``accumulator``, negotiating the
         format.
@@ -415,7 +538,7 @@ class DataLakeStore:
         mid-walk is discarded wholesale before the CSV fallback re-folds,
         so no chunk is ever double-counted.
         """
-        formats = self._resolve_format(key, q.fmt)
+        formats = self._resolve_format(key, q.fmt, snap)
         if stats is not None:
             stats.extracts_scanned += 1
         range_lo, range_hi = (q.start_minute, q.end_minute) if q.is_ranged else (None, None)
@@ -424,7 +547,7 @@ class DataLakeStore:
             sgx_stats = SgxReadStats()
             try:
                 columnar.aggregate_sgx_bytes(
-                    self._stored_bytes(key, "sgx"),
+                    self._stored_bytes(key, "sgx", snap),
                     partial,
                     range_lo,
                     range_hi,
@@ -440,10 +563,10 @@ class DataLakeStore:
                 if stats is not None:
                     stats.absorb_sgx(sgx_stats)
                 return
-        self._aggregate_csv(key, q, accumulator, stats)
+        self._aggregate_csv(key, q, accumulator, stats, snap)
 
     def _query_aggregate(
-        self, q: ExtractQuery, principal: str | None, stats: ScanStats
+        self, q: ExtractQuery, stats: ScanStats, snap: ManifestSnapshot | None
     ) -> QueryResult:
         """Answer an aggregate query: reductions, no materialised rows.
 
@@ -458,8 +581,8 @@ class DataLakeStore:
         """
         assert q.aggregates is not None
         accumulator = AggregateAccumulator(q.aggregates, q.group_by)
-        for key in self._query_keys(q, principal):
-            self._aggregate_one(key, q, accumulator, stats)
+        for key in self._query_keys(q, snap):
+            self._aggregate_one(key, q, accumulator, stats, snap)
         empty = LoadFrame(
             q.interval_minutes if q.interval_minutes is not None else DEFAULT_INTERVAL_MINUTES
         )
@@ -489,14 +612,15 @@ class DataLakeStore:
         """
         self._check_access(principal)
         stats = ScanStats()
+        snap = self._snapshot()
         if q.is_aggregate:
-            return self._query_aggregate(q, principal, stats)
+            return self._query_aggregate(q, stats, snap)
         out: LoadFrame | None = None
         remaining = q.limit
-        for key in self._query_keys(q, principal):
+        for key in self._query_keys(q, snap):
             if remaining is not None and remaining <= 0:
                 break
-            frame = self._read_one_for_query(key, q, stats)
+            frame = self._read_one_for_query(key, q, stats, snap)
             if out is None:
                 out = LoadFrame(frame.interval_minutes)
             elif frame.interval_minutes != out.interval_minutes:
@@ -531,7 +655,11 @@ class DataLakeStore:
         return QueryResult(query=q, frame=out, stats=stats)
 
     def _scan_one(
-        self, key: ExtractKey, q: ExtractQuery, stats: ScanStats | None
+        self,
+        key: ExtractKey,
+        q: ExtractQuery,
+        stats: ScanStats | None,
+        snap: ManifestSnapshot | None,
     ) -> Iterator[tuple[ServerMetadata, LoadSeries]]:
         """Stream one extract's servers under ``q``.
 
@@ -543,13 +671,13 @@ class DataLakeStore:
         damage discovered mid-stream propagates, since silently
         re-starting from CSV would duplicate already-yielded servers.
         """
-        formats = self._resolve_format(key, q.fmt)
+        formats = self._resolve_format(key, q.fmt, snap)
         if stats is not None:
             stats.extracts_scanned += 1
         if formats[0] == "sgx":
             sgx_stats = SgxReadStats()
             generator = columnar.scan_sgx_bytes(
-                self._stored_bytes(key, "sgx"),
+                self._stored_bytes(key, "sgx", snap),
                 q.interval_minutes,
                 q.start_minute,
                 q.end_minute,
@@ -578,7 +706,9 @@ class DataLakeStore:
                 return
             # The damaged read's counters are discarded wholesale; the CSV
             # re-read below accounts for itself.
-        for _server_id, metadata, series in self._read_csv_for_query(key, q, stats).items():
+        for _server_id, metadata, series in self._read_csv_for_query(
+            key, q, stats, snap
+        ).items():
             yield metadata, series
 
     def scan(
@@ -609,9 +739,14 @@ class DataLakeStore:
         remaining = q.limit
         if remaining is not None and remaining <= 0:
             return
+        # Pin one committed generation for the whole scan (captured lazily
+        # at the first element, since this is a generator): concurrent
+        # writers publishing new generations never change what an
+        # in-flight scan observes.
+        snap = self._snapshot()
         expected_interval: int | None = None
-        for key in self._query_keys(q, principal):
-            for metadata, series in self._scan_one(key, q, stats):
+        for key in self._query_keys(q, snap):
+            for metadata, series in self._scan_one(key, q, stats, snap):
                 if expected_interval is None:
                     expected_interval = series.interval_minutes
                 elif series.interval_minutes != expected_interval:
@@ -653,7 +788,7 @@ class DataLakeStore:
         self._check_access(principal)
         # Preserve the historical contract: a missing key (or missing
         # forced format) raises instead of answering with an empty frame.
-        self._resolve_format(key, fmt)
+        self._resolve_format(key, fmt, self._snapshot())
         q = ExtractQuery.for_key(
             key,
             interval_minutes=interval_minutes,
@@ -671,10 +806,11 @@ class DataLakeStore:
         (exports, debugging) work regardless of the stored format.
         """
         self._check_access(principal)
-        formats = self._require_formats(key)
+        snap = self._snapshot()
+        formats = self._require_formats(key, snap)
         if "csv" in formats:
-            return self._stored_bytes(key, "csv").decode("utf-8")
-        frame = columnar.frame_from_sgx_bytes(self._stored_bytes(key, "sgx"))
+            return self._stored_bytes(key, "csv", snap).decode("utf-8")
+        frame = columnar.frame_from_sgx_bytes(self._stored_bytes(key, "sgx", snap))
         return csv_io.frame_to_csv_text(frame)
 
     def read_extract_bytes(
@@ -687,15 +823,16 @@ class DataLakeStore:
         forcing a parse/re-serialise round trip in the coordinator.
         """
         self._check_access(principal)
-        fmt = self._resolve_format(key, fmt)[0]
-        return fmt, self._stored_bytes(key, fmt)
+        snap = self._snapshot()
+        fmt = self._resolve_format(key, fmt, snap)[0]
+        return fmt, self._stored_bytes(key, fmt, snap)
 
     def extract_formats(
         self, key: ExtractKey, principal: str | None = None
     ) -> tuple[str, ...]:
         """Formats stored for ``key`` in read-preference order (may be empty)."""
         self._check_access(principal)
-        return self._stored_formats(key)
+        return self._stored_formats(key, self._snapshot())
 
     def extract_fingerprint(self, key: ExtractKey, principal: str | None = None) -> str:
         """Hex sha256 digest of the preferred stored copy's raw bytes.
@@ -708,12 +845,19 @@ class DataLakeStore:
         content -- and therefore every stage-cache key -- is unchanged.
         """
         self._check_access(principal)
-        fmt = self._require_formats(key)[0]
+        snap = self._snapshot()
+        fmt = self._require_formats(key, snap)[0]
         digest = hashlib.sha256()
         if self._root is None:
             digest.update(self._memory[key][fmt])
             return digest.hexdigest()
-        with self._path_for(key, fmt).open("rb") as handle:
+        assert snap is not None
+        entry = self._entry(key, fmt, snap)
+        if entry.sha256 is not None:
+            # Content-addressed segments record their digest in the
+            # manifest at stage time; no re-hash needed.
+            return entry.sha256
+        with (self._root / entry.relpath).open("rb") as handle:
             for chunk in iter(lambda: handle.read(1 << 20), b""):
                 digest.update(chunk)
         return digest.hexdigest()
@@ -721,42 +865,20 @@ class DataLakeStore:
     def has_extract(self, key: ExtractKey, principal: str | None = None) -> bool:
         """Return whether an extract exists for ``key`` in any format."""
         self._check_access(principal)
-        return bool(self._stored_formats(key))
+        return bool(self._stored_formats(key, self._snapshot()))
 
     def list_extracts(
         self, region: str | None = None, principal: str | None = None
     ) -> list[ExtractKey]:
         """List available extract keys, optionally restricted to a region.
 
-        A key stored in both formats is listed once.  The region component
-        is taken from the partition directory name (extracts live under
-        ``<root>/<region>/``), so region names containing ``_week`` parse
-        correctly; with ``region`` given, only that partition is scanned.
+        A key stored in both formats is listed once.  The listing is the
+        committed manifest generation's (pinned stores list their pinned
+        generation), so files staged by an in-flight or crashed
+        transaction are never visible here.
         """
         self._check_access(principal)
-        if self._root is None:
-            keys = sorted(key for key in self._memory if self._memory[key])
-            if region is not None:
-                keys = [key for key in keys if key.region == region]
-            return keys
-        region_dirs = (
-            [self._root / region]
-            if region is not None
-            else sorted(path for path in self._root.iterdir() if path.is_dir())
-        )
-        found: set[ExtractKey] = set()
-        for region_dir in region_dirs:
-            if not region_dir.is_dir():
-                continue
-            region_name = region_dir.name
-            prefix = f"extract_{region_name}_week"
-            for path in region_dir.iterdir():
-                if path.suffix.lstrip(".") not in EXTRACT_FORMATS:
-                    continue
-                week_part = path.stem[len(prefix):] if path.stem.startswith(prefix) else ""
-                if week_part.isdigit():
-                    found.add(ExtractKey(region=region_name, week=int(week_part)))
-        return sorted(found)
+        return self._list_keys(self._snapshot(), region)
 
     def extract_size_bytes(
         self, key: ExtractKey, principal: str | None = None, fmt: str | None = None
@@ -768,10 +890,12 @@ class DataLakeStore:
         benchmark harness reports it alongside runtimes.
         """
         self._check_access(principal)
-        fmt = self._resolve_format(key, fmt)[0]
+        snap = self._snapshot()
+        fmt = self._resolve_format(key, fmt, snap)[0]
         if self._root is None:
             return len(self._memory[key][fmt])
-        return self._path_for(key, fmt).stat().st_size
+        assert snap is not None
+        return self._entry(key, fmt, snap).size
 
     def delete_extract(
         self, key: ExtractKey, principal: str | None = None, fmt: str | None = None
@@ -780,7 +904,13 @@ class DataLakeStore:
 
         With ``fmt`` given only that format's copy is removed (the lake
         converter uses this to drop the source format after verification);
-        otherwise every stored copy goes.
+        otherwise every stored copy goes.  On disk the delete is one
+        manifest transaction publishing a generation without the dropped
+        entries: readers either see every copy or none, and a crash
+        mid-delete rolls back cleanly on the next open.  The payload
+        files themselves are retired logically -- still on disk (older
+        pinned generations may reference them) until
+        :meth:`collect_garbage` reclaims them.
         """
         self._check_access(principal)
         formats = (check_format(fmt),) if fmt is not None else EXTRACT_FORMATS
@@ -793,5 +923,32 @@ class DataLakeStore:
             if not slot:
                 self._memory.pop(key, None)
             return
-        for name in formats:
-            self._path_for(key, name).unlink(missing_ok=True)
+        self._require_writable()
+        assert self._manifest is not None
+        present = [
+            name
+            for name in formats
+            if name in self._stored_formats(key, self._manifest.current())
+        ]
+        if not present:
+            return
+        with self._manifest.transaction(f"delete {key} {' '.join(present)}") as txn:
+            for name in present:
+                txn.drop(key.region, key.week, name)
+
+    def collect_garbage(self, principal: str | None = None):
+        """Physically reclaim segment files and generations no longer
+        referenced by the current committed generation.
+
+        Delegates to
+        :meth:`~repro.storage.manifest.LakeManifest.collect_garbage` and
+        returns its :class:`~repro.storage.manifest.GcReport`.  Invalidates
+        stores pinned to older generations -- run it only when no pinned
+        readers are in flight.  In-memory stores have nothing to reclaim
+        and raise :class:`ValueError`.
+        """
+        self._check_access(principal)
+        self._require_writable()
+        if self._manifest is None:
+            raise ValueError("in-memory stores have no on-disk garbage to collect")
+        return self._manifest.collect_garbage()

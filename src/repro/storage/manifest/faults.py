@@ -1,0 +1,64 @@
+"""Crash-injection hooks for the manifest's transaction protocol.
+
+Every durability-relevant step of a manifest transaction calls
+:func:`fault_point` with a stable name (see
+:data:`~repro.storage.manifest.manifest.FAULT_POINTS`).  In production no
+handler is installed and the call is a no-op costing one attribute load.
+The crash-injection test harness installs a handler that raises
+:class:`InjectedCrash` at a chosen point, simulating ``kill -9`` of the
+writer process mid-transaction.
+
+:class:`InjectedCrash` deliberately derives from :class:`BaseException`,
+not :class:`Exception`: a real crash runs **no** ``except Exception``
+cleanup, so the transaction code must not be able to "catch" a simulated
+one either.  The only in-process concession to reality is that the
+writer's advisory file lock is released (the kernel would do exactly that
+when the process died).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+
+__all__ = ["InjectedCrash", "fault_handler", "fault_point", "install_fault_handler"]
+
+
+class InjectedCrash(BaseException):
+    """A simulated ``kill -9`` at a named fault point.
+
+    A ``BaseException`` so that no ``except Exception`` recovery path in
+    the transaction machinery can observe it -- exactly like a real
+    process death, the only thing left behind is the on-disk state.
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(point)
+        self.point = point
+
+
+_handler: Callable[[str], None] | None = None
+
+
+def fault_point(name: str) -> None:
+    """Declare a crash-injectable step; no-op unless a handler is installed."""
+    handler = _handler
+    if handler is not None:
+        handler(name)
+
+
+def install_fault_handler(handler: Callable[[str], None] | None) -> None:
+    """Install (or with ``None`` remove) the process-wide fault handler."""
+    global _handler
+    _handler = handler
+
+
+@contextmanager
+def fault_handler(handler: Callable[[str], None]) -> Iterator[None]:
+    """Scope ``handler`` as the fault handler for a ``with`` block."""
+    previous = _handler
+    install_fault_handler(handler)
+    try:
+        yield
+    finally:
+        install_fault_handler(previous)

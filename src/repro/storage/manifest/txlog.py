@@ -1,0 +1,117 @@
+"""Append-only intent/commit log for lake manifest transactions.
+
+The write-ahead half of the manifest's recoverability story (the design
+follows the partially-constrained-log idea of Zhou et al.: constrain only
+the orderings recovery needs, let everything else race).  Every record is
+one JSON object per line, appended with ``flush + fsync`` before the
+transaction takes its next durable step, so after a crash the log always
+says how far the writer got:
+
+``intent``
+    A transaction started on top of generation ``generation_from``.
+``staged``
+    The transaction published one content-addressed segment file
+    (``reused`` marks a file that already existed -- identical payload
+    bytes hash to the same name -- and therefore must survive rollback).
+``commit``
+    The transaction's generation pointer swap completed; the new
+    generation is durable and visible.
+``abort``
+    The transaction rolled itself back (writer-side failure with the
+    writer still alive).
+``recovered``
+    Appended by crash recovery when it resolves a dangling ``intent``:
+    ``action="commit"`` when the pointer swap had already happened
+    (the transaction *did* commit; only its commit record was lost) and
+    ``action="abort"`` when recovery rolled the leftovers back.
+
+A torn final line (the crash happened mid-append) is expected and
+ignored by :meth:`TransactionLog.records`; every complete record before
+it was fsync'd and is trusted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["PendingTransaction", "TransactionLog"]
+
+
+@dataclass
+class PendingTransaction:
+    """A dangling ``intent`` record with no ``commit``/``abort`` resolution."""
+
+    txid: str
+    generation_from: int
+    op: str
+    #: ``(relpath, reused)`` for every segment the transaction durably
+    #: staged before the crash, in staging order.
+    staged: list[tuple[str, bool]] = field(default_factory=list)
+
+
+class TransactionLog:
+    """One lake's append-only transaction log (``_manifest/txlog.jsonl``)."""
+
+    def __init__(self, path: Path) -> None:
+        self._path = path
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def append(self, record: dict[str, object]) -> None:
+        """Durably append one record: the call returns only after the
+        line (and the records before it) survive a crash."""
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with self._path.open("a", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def records(self) -> list[dict[str, object]]:
+        """Every complete record, oldest first (a torn tail is skipped)."""
+        try:
+            text = self._path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return []
+        records: list[dict[str, object]] = []
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                # A torn append from a crash mid-write; everything after
+                # it is untrusted (appends are ordered), so stop here.
+                break
+            if isinstance(record, dict):
+                records.append(record)
+        return records
+
+    def pending(self) -> PendingTransaction | None:
+        """The dangling transaction recovery must resolve, if any.
+
+        Transactions run under an exclusive writer lock, so at most one
+        ``intent`` can be unresolved at a time -- the last one.
+        """
+        pending: PendingTransaction | None = None
+        for record in self.records():
+            kind = record.get("type")
+            if kind == "intent":
+                pending = PendingTransaction(
+                    txid=str(record.get("txid", "")),
+                    generation_from=int(record.get("generation_from", 0)),  # type: ignore[arg-type]
+                    op=str(record.get("op", "")),
+                )
+            elif pending is not None and record.get("txid") == pending.txid:
+                if kind == "staged":
+                    pending.staged.append(
+                        (str(record.get("relpath", "")), bool(record.get("reused", False)))
+                    )
+                elif kind in ("commit", "abort", "recovered"):
+                    pending = None
+        return pending

@@ -7,6 +7,16 @@ stored format, re-encoded, verified by frame content hash -- the converter
 never trades durability for speed -- and only then is the source copy
 dropped (when requested).  The rollup reports rows and bytes moved so an
 operator can see what a migration bought before deleting sources.
+
+Every write and delete here goes through the lake's API and therefore
+through its transactional manifest (:mod:`repro.storage.manifest`): a
+converted extract is staged as a content-addressed segment and published
+as a new committed generation in one atomic pointer swap, so a crash
+mid-conversion leaves the lake on the last committed generation -- never
+a half-converted extract.  "Deleting" a source copy retires it from the
+manifest; the bytes are reclaimed by the explicit ``gc`` pass
+(``python -m repro.fleet_ops gc``), and readers pinned to an older
+generation keep working until then.
 """
 
 from __future__ import annotations

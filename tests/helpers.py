@@ -236,6 +236,39 @@ def frame_to_sgx_v3_bytes(frame, chunk_minutes: int = MINUTES_PER_DAY) -> bytes:
     return header + _V1_HEADER_CRC.pack(zlib.crc32(header)) + body
 
 
+class CrashInjector:
+    """Kill a manifest transaction at the N-th hit of one fault point.
+
+    Install via :func:`repro.storage.manifest.fault_handler`::
+
+        injector = CrashInjector("manifest.pointer")
+        with fault_handler(injector):
+            with pytest.raises(InjectedCrash):
+                lake.write_extract(key, frame)
+
+    ``occurrence`` picks a later hit of the same point (1 = first).
+    With ``crash_at=None`` the injector only records the points it saw
+    (``.seen``), which is how tests enumerate a protocol's fault points
+    without hard-coding the order.
+    """
+
+    def __init__(self, crash_at: str | None, occurrence: int = 1) -> None:
+        from repro.storage.manifest import InjectedCrash
+
+        self._crash_at = crash_at
+        self._occurrence = occurrence
+        self._exc = InjectedCrash
+        self.seen: list[str] = []
+        self.fired = False
+
+    def __call__(self, point: str) -> None:
+        self.seen.append(point)
+        if self._crash_at is not None and point == self._crash_at:
+            if self.seen.count(point) >= self._occurrence:
+                self.fired = True
+                raise self._exc(point)
+
+
 def make_series(values, start=0, interval=5) -> LoadSeries:
     """Construct a series from raw values on a regular grid."""
     return LoadSeries.from_values(

@@ -524,6 +524,93 @@ class TestBroadExcept:
 
 
 # --------------------------------------------------------------------- #
+# Rule: manifest-boundary
+# --------------------------------------------------------------------- #
+
+
+class TestManifestBoundary:
+    def test_write_bytes_to_segment_path_flags(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/storage/bad_write.py",
+            """
+            def damage(root):
+                (root / "r0" / "extract_r0_week0001.sgx").write_bytes(b"x")
+            """,
+        )
+        assert "manifest-boundary" in rules_of(findings)
+
+    def test_unlink_of_filename_helper_flags(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/fleet_ops/bad_unlink.py",
+            """
+            def drop(root, key):
+                (root / key.region / key.filename("csv")).unlink()
+            """,
+        )
+        assert "manifest-boundary" in rules_of(findings)
+
+    def test_write_mode_open_of_extract_path_flags(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/serving/bad_open.py",
+            """
+            def scribble(lake, key):
+                with open(lake.extract_path(key), "wb") as fh:
+                    fh.write(b"x")
+            """,
+        )
+        assert "manifest-boundary" in rules_of(findings)
+
+    def test_read_mode_open_of_extract_path_passes(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/serving/good_open.py",
+            """
+            def peek(lake, key):
+                with open(lake.extract_path(key), "rb") as fh:
+                    return fh.read()
+            """,
+        )
+        assert "manifest-boundary" not in rules_of(findings)
+
+    def test_unrelated_write_passes(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/fleet_ops/good_write.py",
+            """
+            def report(root, text):
+                (root / "report.txt").write_text(text)
+            """,
+        )
+        assert "manifest-boundary" not in rules_of(findings)
+
+    def test_manifest_subsystem_is_exempt(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/storage/manifest/writer.py",
+            """
+            def publish(root, name, payload):
+                (root / "r0" / f"extract_r0_week0001-{name}.sgx").write_bytes(payload)
+            """,
+        )
+        assert "manifest-boundary" not in rules_of(findings)
+
+    def test_pragma_with_reason_suppresses(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/storage/suppressed_write.py",
+            """
+            def damage(root):
+                # repro: allow[manifest-boundary] simulating out-of-band disk damage
+                (root / "r0" / "extract_r0_week0001.sgx").write_bytes(b"x")
+            """,
+        )
+        assert "manifest-boundary" not in rules_of(findings)
+
+
+# --------------------------------------------------------------------- #
 # Pragma semantics
 # --------------------------------------------------------------------- #
 

@@ -79,7 +79,7 @@ class TestFileBackedStore:
         store = DataLakeStore(tmp_path)
         key = ExtractKey("westus", 1)
         store.write_extract(key, small_frame())
-        assert store.extract_size_bytes(key) == (tmp_path / "westus" / key.filename()).stat().st_size
+        assert store.extract_size_bytes(key) == store.extract_path(key).stat().st_size
 
     def test_delete_on_disk(self, tmp_path):
         store = DataLakeStore(tmp_path)
@@ -156,7 +156,7 @@ class TestListExtractParsing:
         store = DataLakeStore(tmp_path)
         store.write_extract(ExtractKey("r0", 0), small_frame())
         (tmp_path / "r0" / "notes.txt").write_text("not an extract")
-        (tmp_path / "r0" / "extract_other_week0001.csv").write_text("wrong region prefix")
+        (tmp_path / "r0" / "extract_other_week0001.csv").write_text("wrong region prefix")  # repro: allow[manifest-boundary] planting a foreign file the lake must ignore
         (tmp_path / "_manifest.json").write_text("{}")
         assert store.list_extracts() == [ExtractKey("r0", 0)]
 
@@ -228,7 +228,7 @@ class TestFormatNegotiation:
         store.write_extract(key, small_frame(), fmt="csv")
         csv_size = store.extract_size_bytes(key)
         store.write_extract(key, small_frame(), fmt="sgx", keep_other_formats=True)
-        sgx_size = (store.root / "r0" / key.filename("sgx")).stat().st_size
+        sgx_size = store.extract_path(key, fmt="sgx").stat().st_size
         assert store.extract_size_bytes(key) == sgx_size  # .sgx preferred
         assert store.extract_size_bytes(key, fmt="csv") == csv_size
 
@@ -394,10 +394,9 @@ class TestChunkPolicy:
 
 class TestCorruptionFallback:
     def _corrupt_sgx(self, store, key):
-        path = store.root / key.region / key.filename("sgx")
-        damaged = bytearray(path.read_bytes())
+        damaged = bytearray(store.extract_path(key, fmt="sgx").read_bytes())
         damaged[-3] ^= 0xFF
-        path.write_bytes(bytes(damaged))
+        store.extract_path(key, fmt="sgx").write_bytes(bytes(damaged))  # repro: allow[manifest-boundary] simulating out-of-band disk damage
 
     def test_corrupt_sgx_falls_back_to_colocated_csv(self, tmp_path):
         store = DataLakeStore(tmp_path)
@@ -420,8 +419,8 @@ class TestCorruptionFallback:
         store = DataLakeStore(tmp_path, write_format="sgx")
         key = ExtractKey("r0", 0)
         store.write_extract(key, small_frame())
-        path = store.root / key.region / key.filename("sgx")
-        path.write_bytes(path.read_bytes()[:10])
+        truncated = store.extract_path(key, fmt="sgx").read_bytes()[:10]
+        store.extract_path(key, fmt="sgx").write_bytes(truncated)  # repro: allow[manifest-boundary] simulating out-of-band disk damage
         with pytest.raises(ColumnarFormatError, match="truncated"):
             store.read_extract(key)
 

@@ -220,7 +220,7 @@ class TestLakeQuery:
         frame = mixed_frame()
         lake.write_extract(key, frame, fmt="csv")
         lake.write_extract(key, frame, fmt="sgx", keep_other_formats=True)
-        path = lake.root / "r0" / key.filename("sgx")
+        path = lake.extract_path(key, fmt="sgx")
         damaged = bytearray(path.read_bytes())
         damaged[-3] ^= 0xFF
         path.write_bytes(bytes(damaged))
@@ -266,7 +266,7 @@ class TestPushdownByteLevel:
 
     def test_corrupt_excluded_server_invisible_to_filtered_query(self, tmp_path):
         lake, key = self._sgx_lake(tmp_path, n=4)
-        path = lake.root / "r0" / key.filename("sgx")
+        path = lake.extract_path(key, fmt="sgx")
         damaged = bytearray(path.read_bytes())
         damaged[-4] ^= 0xFF  # inside the last server's values buffer
         path.write_bytes(bytes(damaged))
@@ -283,7 +283,7 @@ class TestPushdownByteLevel:
 
     def test_corrupt_values_invisible_to_projected_query(self, tmp_path):
         lake, key = self._sgx_lake(tmp_path, n=1)
-        path = lake.root / "r0" / key.filename("sgx")
+        path = lake.extract_path(key, fmt="sgx")
         damaged = bytearray(path.read_bytes())
         damaged[-4] ^= 0xFF
         path.write_bytes(bytes(damaged))
@@ -397,7 +397,7 @@ class TestLakeScan:
         lake = DataLakeStore(tmp_path, write_format="sgx")
         key = ExtractKey("r0", 0)
         lake.write_extract(key, mixed_frame(n=3))
-        path = lake.root / "r0" / key.filename("sgx")
+        path = lake.extract_path(key, fmt="sgx")
         damaged = bytearray(path.read_bytes())
         damaged[-4] ^= 0xFF
         path.write_bytes(bytes(damaged))
@@ -412,7 +412,7 @@ class TestLakeScan:
         frame = mixed_frame(n=2)
         lake.write_extract(key, frame, fmt="csv")
         lake.write_extract(key, frame, fmt="sgx", keep_other_formats=True)
-        path = lake.root / "r0" / key.filename("sgx")
+        path = lake.extract_path(key, fmt="sgx")
         damaged = bytearray(path.read_bytes())
         damaged[50] ^= 0xFF  # dictionary/structure region
         path.write_bytes(bytes(damaged))
@@ -426,7 +426,7 @@ class TestLakeScan:
         lake = DataLakeStore(tmp_path, write_format="sgx")
         key = ExtractKey("r0", 0)
         lake.write_extract(key, mixed_frame(n=2))
-        path = lake.root / "r0" / key.filename("sgx")
+        path = lake.extract_path(key, fmt="sgx")
         damaged = bytearray(path.read_bytes())
         damaged[-4] ^= 0xFF  # s1's values buffer
         path.write_bytes(bytes(damaged))
