@@ -709,7 +709,10 @@ def _mentions_payload_path(node: ast.AST) -> bool:
 
 
 def _is_write_mode(node: ast.Call) -> bool:
-    candidates: list[ast.AST] = list(node.args[1:2])
+    # The mode is the second positional of builtin open(path, mode) but
+    # the first of the method form path.open(mode).
+    index = 0 if isinstance(node.func, ast.Attribute) else 1
+    candidates: list[ast.AST] = list(node.args[index : index + 1])
     candidates.extend(kw.value for kw in node.keywords if kw.arg == "mode")
     for expr in candidates:
         if (

@@ -834,7 +834,9 @@ class DataLakeStore:
         self._check_access(principal)
         return self._stored_formats(key, self._snapshot())
 
-    def extract_fingerprint(self, key: ExtractKey, principal: str | None = None) -> str:
+    def extract_fingerprint(
+        self, key: ExtractKey, principal: str | None = None, *, verify: bool = False
+    ) -> str:
         """Hex sha256 digest of the preferred stored copy's raw bytes.
 
         Hashing the stored bytes is much cheaper than parsing the extract,
@@ -843,6 +845,13 @@ class DataLakeStore:
         bytes the next read would ingest: converting a lake to ``.sgx``
         changes fingerprints (the stored bytes changed) even though frame
         content -- and therefore every stage-cache key -- is unchanged.
+
+        For manifested segments the default is the digest recorded at
+        stage time (no file read at all), which describes the bytes the
+        transaction *committed* -- out-of-band damage to the file on disk
+        is invisible to it.  Pass ``verify=True`` to hash the stored
+        bytes themselves when detecting such damage matters more than
+        speed.
         """
         self._check_access(principal)
         snap = self._snapshot()
@@ -853,7 +862,7 @@ class DataLakeStore:
             return digest.hexdigest()
         assert snap is not None
         entry = self._entry(key, fmt, snap)
-        if entry.sha256 is not None:
+        if entry.sha256 is not None and not verify:
             # Content-addressed segments record their digest in the
             # manifest at stage time; no re-hash needed.
             return entry.sha256
@@ -907,7 +916,9 @@ class DataLakeStore:
         otherwise every stored copy goes.  On disk the delete is one
         manifest transaction publishing a generation without the dropped
         entries: readers either see every copy or none, and a crash
-        mid-delete rolls back cleanly on the next open.  The payload
+        mid-delete rolls back cleanly on the next open.  Deleting an
+        absent extract (or format) drops nothing and publishes no new
+        generation.  The payload
         files themselves are retired logically -- still on disk (older
         pinned generations may reference them) until
         :meth:`collect_garbage` reclaims them.
@@ -925,15 +936,12 @@ class DataLakeStore:
             return
         self._require_writable()
         assert self._manifest is not None
-        present = [
-            name
-            for name in formats
-            if name in self._stored_formats(key, self._manifest.current())
-        ]
-        if not present:
-            return
-        with self._manifest.transaction(f"delete {key} {' '.join(present)}") as txn:
-            for name in present:
+        # Presence is decided from txn.base *inside* the transaction lock:
+        # a pre-lock snapshot could race a concurrent writer committing
+        # between the check and the drop.  Dropping an absent format is a
+        # no-op, and a transaction that drops nothing commits nothing.
+        with self._manifest.transaction(f"delete {key} {' '.join(formats)}") as txn:
+            for name in formats:
                 txn.drop(key.region, key.week, name)
 
     def collect_garbage(self, principal: str | None = None):

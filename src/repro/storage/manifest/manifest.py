@@ -717,12 +717,25 @@ class ManifestTransaction:
     # -- commit / abort ------------------------------------------------ #
 
     def commit(self) -> ManifestSnapshot:
-        """Publish the new generation; returns its snapshot."""
+        """Publish the new generation; returns its snapshot.
+
+        A transaction that staged nothing and dropped nothing that
+        exists is a no-op: it resolves its intent with an ``abort``
+        record instead of publishing an identical generation, and the
+        committed snapshot stays exactly where it was.
+        """
         assert self._base is not None, "transaction not entered"
         if self._done:
             raise LakeManifestError("transaction already committed or aborted")
         self._done = True
         manifest = self._manifest
+        if not self._staged and not any(
+            self._base.entry(*key) is not None for key in self._dropped
+        ):
+            manifest.log.append(
+                {"type": "abort", "txid": self._txid, "reason": "empty transaction"}
+            )
+            return self._base
         entries = {
             (e.region, e.week, e.fmt): e
             for e in self._base.segments

@@ -25,9 +25,12 @@ says how far the writer got:
     (the transaction *did* commit; only its commit record was lost) and
     ``action="abort"`` when recovery rolled the leftovers back.
 
-A torn final line (the crash happened mid-append) is expected and
-ignored by :meth:`TransactionLog.records`; every complete record before
-it was fsync'd and is trusted.
+A torn line (the crash happened mid-append) is expected and skipped by
+:meth:`TransactionLog.records`; every complete record was fsync'd and is
+trusted.  :meth:`TransactionLog.append` repairs a torn tail by starting
+a fresh line, so records appended after the crash -- recovery's
+``recovered`` resolution in particular -- stay parsable instead of being
+glued onto the torn fragment.
 """
 
 from __future__ import annotations
@@ -66,14 +69,22 @@ class TransactionLog:
         """Durably append one record: the call returns only after the
         line (and the records before it) survive a crash."""
         self._path.parent.mkdir(parents=True, exist_ok=True)
-        line = json.dumps(record, sort_keys=True) + "\n"
-        with self._path.open("a", encoding="utf-8") as handle:
+        line = json.dumps(record, sort_keys=True).encode("utf-8") + b"\n"
+        with self._path.open("a+b") as handle:
+            handle.seek(0, os.SEEK_END)
+            if handle.tell() > 0:
+                handle.seek(-1, os.SEEK_END)
+                if handle.read(1) != b"\n":
+                    # A crash tore the previous append mid-line.  Start a
+                    # fresh line so this record stays parsable; the torn
+                    # fragment becomes its own line, skipped by records().
+                    handle.write(b"\n")
             handle.write(line)
             handle.flush()
             os.fsync(handle.fileno())
 
     def records(self) -> list[dict[str, object]]:
-        """Every complete record, oldest first (a torn tail is skipped)."""
+        """Every complete record, oldest first (torn lines are skipped)."""
         try:
             text = self._path.read_text(encoding="utf-8")
         except FileNotFoundError:
@@ -85,9 +96,12 @@ class TransactionLog:
             try:
                 record = json.loads(line)
             except ValueError:
-                # A torn append from a crash mid-write; everything after
-                # it is untrusted (appends are ordered), so stop here.
-                break
+                # A torn append: the crash hit mid-write, so the record
+                # was never acknowledged and it is as if it never
+                # happened.  append() repaired the tail with a newline,
+                # so every record after the fragment sits on its own
+                # parsable line -- skip the fragment, keep reading.
+                continue
             if isinstance(record, dict):
                 records.append(record)
         return records

@@ -306,8 +306,9 @@ def test_random_sequence_crash_parity(ops, crash_index, point):
                 prefix_states[crash_index + 1],
             )
         else:
-            # The op never reached that point (e.g. delete of a missing
-            # key runs no transaction at all) and simply completed.
+            # The op never reached that point (e.g. a delete of a missing
+            # key commits nothing, so the publish fault points never
+            # fire) and simply completed.
             assert recovered == prefix_states[crash_index + 1]
 
         # Retry the interrupted op and play out the rest of the tape.

@@ -563,6 +563,31 @@ class TestManifestBoundary:
         )
         assert "manifest-boundary" in rules_of(findings)
 
+    def test_write_mode_path_open_method_flags(self, tmp_path):
+        # The method form puts the mode first: path.open("wb").
+        findings = lint_snippet(
+            tmp_path,
+            "repro/serving/bad_method_open.py",
+            """
+            def scribble(lake, key):
+                with lake.extract_path(key).open("wb") as fh:
+                    fh.write(b"x")
+            """,
+        )
+        assert "manifest-boundary" in rules_of(findings)
+
+    def test_read_mode_path_open_method_passes(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/serving/good_method_open.py",
+            """
+            def peek(lake, key):
+                with lake.extract_path(key).open("rb") as fh:
+                    return fh.read()
+            """,
+        )
+        assert "manifest-boundary" not in rules_of(findings)
+
     def test_read_mode_open_of_extract_path_passes(self, tmp_path):
         findings = lint_snippet(
             tmp_path,

@@ -11,6 +11,7 @@ from repro.storage.manifest import (
     LakeManifest,
     LakeManifestError,
     ManifestSnapshot,
+    TransactionLog,
 )
 from repro.timeseries.frame import LoadFrame, ServerMetadata
 
@@ -102,6 +103,19 @@ class TestContentAddressing:
         assert entry.sha256 == lake.extract_fingerprint(KEY)
         assert entry.size == lake.extract_size_bytes(KEY)
 
+    def test_fingerprint_verify_hashes_the_stored_bytes(self, tmp_path):
+        """The default fingerprint is the digest recorded at stage time;
+        ``verify=True`` reads the file and therefore sees out-of-band
+        damage the fast path by design does not."""
+        lake = DataLakeStore(tmp_path, write_format="sgx")
+        lake.write_extract(KEY, small_frame())
+        recorded = lake.extract_fingerprint(KEY)
+        assert lake.extract_fingerprint(KEY, verify=True) == recorded
+        # repro: allow[manifest-boundary] simulating out-of-band disk damage
+        lake.extract_path(KEY).write_bytes(b"scribbled over")
+        assert lake.extract_fingerprint(KEY) == recorded
+        assert lake.extract_fingerprint(KEY, verify=True) != recorded
+
 
 class TestLogicalDeleteAndGc:
     def test_delete_is_logical_until_gc(self, tmp_path):
@@ -143,6 +157,17 @@ class TestLogicalDeleteAndGc:
         # The already-open reader's payload file is gone too.
         with pytest.raises(FileNotFoundError):
             reader.read_extract_bytes(KEY)
+
+    def test_delete_of_absent_extract_publishes_no_generation(self, tmp_path):
+        lake = DataLakeStore(tmp_path, write_format="sgx")
+        lake.write_extract(KEY, small_frame())
+        generation = lake.current_generation()
+        lake.delete_extract(ExtractKey("r9", 99))  # nothing to drop
+        lake.delete_extract(KEY, fmt="csv")  # stored as .sgx only
+        assert lake.current_generation() == generation
+        assert lake.manifest.log.pending() is None
+        lake.delete_extract(KEY)  # a real drop still commits
+        assert lake.current_generation() == generation + 1
 
     def test_gc_spares_foreign_files(self, tmp_path):
         lake = DataLakeStore(tmp_path, write_format="sgx")
@@ -210,6 +235,38 @@ class TestManifestInternals:
         reopened = DataLakeStore(tmp_path)
         assert reopened.read_extract(KEY).server_ids() == ["s0", "s1"]
         reopened.write_extract(KEY, small_frame(level=4.0))
+
+    def test_txlog_append_repairs_torn_tail(self, tmp_path):
+        log = TransactionLog(tmp_path / "txlog.jsonl")
+        log.append({"type": "intent", "txid": "a"})
+        with log.path.open("ab") as handle:
+            handle.write(b'{"type": "commit", "txid"')  # crash mid-append
+        log.append({"type": "recovered", "txid": "a", "action": "commit"})
+        assert [r["type"] for r in log.records()] == ["intent", "recovered"]
+        assert log.pending() is None
+
+    def test_torn_commit_record_survives_later_commits(self, tmp_path):
+        """A torn final log line must not resurrect a resolved intent.
+
+        Recovery's resolution record lands on its own fresh line; were it
+        glued onto the torn fragment, every later open would re-see the
+        stale intent and -- once another transaction commits -- roll it
+        back as 'uncommitted', unlinking a committed generation's files.
+        """
+        lake = DataLakeStore(tmp_path, write_format="sgx")
+        lake.write_extract(KEY, small_frame())
+        log_path = tmp_path / "_manifest" / "txlog.jsonl"
+        raw = log_path.read_bytes()
+        assert raw.endswith(b"\n")
+        log_path.write_bytes(raw[:-10])  # tear the commit record mid-line
+        other = ExtractKey("r1", 5)
+        # First reopen resolves the dangling intent, then commits anew.
+        DataLakeStore(tmp_path).write_extract(other, small_frame(level=2.0), fmt="sgx")
+        reopened = DataLakeStore(tmp_path)  # recovery runs again here
+        assert sorted(reopened.list_extracts()) == [KEY, other]
+        assert reopened.read_extract(KEY).server_ids() == ["s0", "s1"]
+        assert reopened.read_extract(other).server_ids() == ["s0", "s1"]
+        assert reopened.manifest.log.pending() is None
 
     def test_corrupt_pointer_is_a_typed_error(self, tmp_path):
         lake = DataLakeStore(tmp_path, write_format="sgx")
