@@ -1,0 +1,175 @@
+"""Live ingestion: WAL appends vs naive per-batch extract rewrites.
+
+The streaming collector's whole reason to exist is that appending a
+CRC-framed batch to ``tail.wal`` is O(batch) while the naive alternative
+-- read-modify-write the committed extract on every arriving batch -- is
+O(history): each rewrite re-encodes everything received so far.  The
+first benchmark streams one synthetic fleet-day through both paths (both
+end with the day committed and queryable) and asserts the live path
+sustains at least twice the naive throughput.
+
+The second benchmark checks that sealing costs readers nothing: the
+sealed segment is an ordinary format-v4 extract whose chunks align to
+``chunk_minutes``, so a day-aligned rollup over it is answered entirely
+from chunk statistics -- zero payload bytes re-decoded.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from bench_utils import print_table
+from repro.storage.datalake import DataLakeStore, ExtractKey
+from repro.storage.live import LiveIngestor
+from repro.storage.query import ExtractQuery
+from repro.timeseries.calendar import MINUTES_PER_DAY
+from repro.timeseries.frame import LoadFrame, ServerMetadata
+from repro.timeseries.series import LoadSeries
+
+REGION = "region-live"
+KEY = ExtractKey(region=REGION, week=0)
+N_SERVERS = 6
+BATCH_MINUTES = 30  # 48 batch rounds per day
+SERVERS = [ServerMetadata(server_id=f"srv-{i}", region=REGION) for i in range(N_SERVERS)]
+
+#: Required throughput advantage of WAL appends over per-batch rewrites.
+#: The naive path is O(history) per batch so the structural gap grows
+#: with the day; 2x is a conservative floor for 48 rounds.
+MIN_INGEST_THROUGHPUT_RATIO = 2.0
+
+#: Timing ratios depend on the machine; the recorded baseline value is
+#: capped here so ``BENCH_seed.json`` stays comparable across hosts.
+RECORDED_RATIO_CAP = 4.0
+
+
+def _day_batches() -> list[tuple[int, np.ndarray, np.ndarray]]:
+    """``(server_index, timestamps, loads)`` for one diurnal fleet-day."""
+    rng = np.random.default_rng(701)
+    batches = []
+    for offset in range(0, MINUTES_PER_DAY, BATCH_MINUTES):
+        ts = np.arange(offset, offset + BATCH_MINUTES, dtype=np.int64)
+        phase = 2.0 * np.pi * ts / MINUTES_PER_DAY
+        load = 50.0 + 20.0 * np.sin(phase)
+        for index in range(N_SERVERS):
+            noisy = np.maximum(load + rng.normal(0.0, 1.0, ts.size), 0.0)
+            batches.append((index, ts, noisy))
+    return batches
+
+
+def _ingest_live(root) -> int:
+    store = DataLakeStore(root, write_format="sgx")
+    rows = 0
+    with LiveIngestor(store, interval_minutes=1, chunk_minutes=MINUTES_PER_DAY) as ing:
+        for index, ts, vs in _day_batches():
+            rows += ing.ingest(KEY, SERVERS[index], ts, vs)
+        ing.seal(KEY, MINUTES_PER_DAY)
+    return rows
+
+
+def _ingest_naive(root) -> int:
+    """The collector without a WAL: rewrite the extract per batch round."""
+    store = DataLakeStore(root, write_format="sgx", chunk_minutes=MINUTES_PER_DAY)
+    history: dict[int, list[tuple[np.ndarray, np.ndarray]]] = {}
+    pending = 0
+    rows = 0
+    for index, ts, vs in _day_batches():
+        history.setdefault(index, []).append((ts, vs))
+        pending += 1
+        if pending < N_SERVERS:
+            continue  # one rewrite per arrival wave, like the live path's rounds
+        pending = 0
+        frame = LoadFrame(interval_minutes=1)
+        for server_index, chunks in sorted(history.items()):
+            series = LoadSeries(
+                np.concatenate([c[0] for c in chunks]),
+                np.concatenate([c[1] for c in chunks]),
+                interval_minutes=1,
+            )
+            frame.add_server(SERVERS[server_index], series)
+        rows = store.write_extract(KEY, frame)
+    return rows
+
+
+def test_live_ingest_beats_per_batch_rewrites(benchmark, tmp_path_factory, record_ratio):
+    day_rows = N_SERVERS * MINUTES_PER_DAY
+
+    def run_both():
+        live_root = tmp_path_factory.mktemp("live-lake")
+        naive_root = tmp_path_factory.mktemp("naive-lake")
+        started = time.perf_counter()
+        live_rows = _ingest_live(live_root)
+        live_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        naive_rows = _ingest_naive(naive_root)
+        naive_seconds = time.perf_counter() - started
+        assert live_rows == naive_rows == day_rows
+        # Both paths committed identical telemetry.
+        for root in (live_root, naive_root):
+            result = DataLakeStore(root).query(
+                ExtractQuery.for_key(KEY, interval_minutes=None)
+            )
+            assert result.rows == day_rows
+        return live_seconds, naive_seconds
+
+    live_seconds, naive_seconds = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    ratio = naive_seconds / live_seconds
+
+    print_table(
+        "Live ingestion: one fleet-day in 30-minute batches, both paths committed",
+        ["path", "rows", "seconds", "rows/sec", "ratio"],
+        [
+            ["naive per-batch write_extract", day_rows, naive_seconds, day_rows / naive_seconds, 1.0],
+            ["WAL append + one seal", day_rows, live_seconds, day_rows / live_seconds, ratio],
+        ],
+    )
+
+    assert ratio >= MIN_INGEST_THROUGHPUT_RATIO, (
+        f"live ingestion was only {ratio:.1f}x the naive per-batch rewrite "
+        f"throughput (required >= {MIN_INGEST_THROUGHPUT_RATIO}x)"
+    )
+    record_ratio(
+        "live_ingest_throughput",
+        min(ratio, RECORDED_RATIO_CAP),
+        floor=MIN_INGEST_THROUGHPUT_RATIO,
+    )
+
+
+def test_sealed_day_aligned_reads_decode_zero_bytes(tmp_path_factory, record_ratio):
+    root = tmp_path_factory.mktemp("sealed-lake")
+    _ingest_live(root)
+    store = DataLakeStore(root)
+
+    rollup = store.query(
+        ExtractQuery.for_key(
+            KEY, aggregates=("count", "mean", "max"), group_by=("server", "day")
+        )
+    )
+    rows = store.query(ExtractQuery.for_key(KEY, interval_minutes=None))
+
+    print_table(
+        "Sealed segment: day-aligned rollup vs materialising the rows",
+        ["query", "chunks_from_stats", "bytes_verified", "bytes_avoided"],
+        [
+            ["row path", rows.stats.chunks_answered_from_stats,
+             rows.stats.payload_bytes_verified, rows.stats.bytes_decoded_avoided],
+            ["day-aligned rollup", rollup.stats.chunks_answered_from_stats,
+             rollup.stats.payload_bytes_verified, rollup.stats.bytes_decoded_avoided],
+        ],
+    )
+
+    # The seal wrote an ordinary v4 segment chunked at chunk_minutes, so
+    # day-aligned aggregation re-decodes nothing at all.
+    assert rollup.stats.payload_bytes_verified == 0
+    assert rollup.stats.chunks_seen > 0
+    assert rollup.stats.bytes_decoded_avoided > 0
+    coverage = rollup.stats.chunks_answered_from_stats / rollup.stats.chunks_seen
+    record_ratio("live_seal_stats_coverage", coverage, floor=1.0)
+
+    # And the statistics answers are exact, not approximate.
+    total = sum(int(group["count"]) for group in rollup.aggregates.values())
+    assert total == rows.rows == N_SERVERS * MINUTES_PER_DAY
+    peak = max(float(group["max"]) for group in rollup.aggregates.values())
+    frame_values = [s.values for _sid, _md, s in rows.frame.items()]
+    assert peak == max(float(v.max()) for v in frame_values)

@@ -23,7 +23,15 @@ components:
 
 from repro.core.config import PipelineConfig
 from repro.core.dashboard import Dashboard, DashboardEvent
-from repro.core.drift import DriftDetector, DriftReport, DriftThresholds
+from repro.core.drift import (
+    DriftDetector,
+    DriftReport,
+    DriftThresholds,
+    LoadWindowDriftDetector,
+    WindowDriftReport,
+    WindowDriftThresholds,
+    WindowSummary,
+)
 from repro.core.endpoints import BatchScoringResult, ScoringEndpoint
 from repro.core.incidents import Incident, IncidentManager, IncidentSeverity
 from repro.core.pipeline import PipelineRunResult, SeagullPipeline
@@ -49,4 +57,8 @@ __all__ = [
     "DriftDetector",
     "DriftReport",
     "DriftThresholds",
+    "LoadWindowDriftDetector",
+    "WindowDriftReport",
+    "WindowDriftThresholds",
+    "WindowSummary",
 ]

@@ -23,8 +23,12 @@ Rules
     ``timeseries`` < ``models``/``parallel``/``validation`` < ``metrics``
     < ``features``/``storage`` < ``core``/``telemetry`` < ``serving`` <
     ``scheduling``/``autoscale`` < ``fleet_ops``.  In particular
-    ``storage`` may never import ``serving`` or ``fleet_ops``.  The
-    ``repro`` top-level ``__init__`` is the public facade and is exempt;
+    ``storage`` may never import ``serving`` or ``fleet_ops``.  Dotted
+    keys place sub-packages for *outside* importers (longest-prefix
+    resolution): ``storage.live`` sits with ``core``/``telemetry``, so
+    those may depend on the lake but not on the streaming subsystem;
+    imports within one top-level package stay exempt.  The ``repro``
+    top-level ``__init__`` is the public facade and is exempt;
     ``repro.devtools`` must stay stdlib-only and un-imported by runtime
     code.
 
@@ -61,6 +65,14 @@ Rules
     ``DataLakeStore.extract_path(...)``) outside that package is a
     finding; mutations must go through a manifest transaction so they
     stay crash-safe and atomic.
+
+``live-boundary``
+    The streaming-ingestion tail WAL (``_manifest/live/**/*.tail.wal``)
+    is owned by :mod:`repro.storage.live`: any ``open``/``read_bytes``/
+    ``write_bytes``/``unlink``/``replace`` whose expression resolves a
+    tail-WAL path (a ``tail.wal`` literal, ``wal_path(...)``,
+    ``live_dir(...)``) outside that package is a finding -- the
+    CRC-framed append/replay/seal-trim protocol has exactly one home.
 
 Suppression
 -----------
@@ -112,9 +124,15 @@ INTERNAL_SYMBOLS: dict[str, tuple[str, ...]] = {
 _SGX_IO_CALLS = frozenset({"open", "read_bytes", "write_bytes", "read_text", "write_text"})
 
 #: The declared layer of each runtime package under ``repro``.  A module
-#: may only import packages at a *strictly lower* layer (or its own).
+#: may only import packages at a *strictly lower* layer (or its own
+#: top-level package -- internal structure is the package's business).
 #: ``repro/__init__.py`` (the public facade) is exempt; ``devtools`` is
 #: outside the runtime DAG entirely (stdlib-only, imported by nobody).
+#:
+#: Dotted keys place *sub*-packages for outside importers (resolved by
+#: longest prefix): ``storage.manifest`` sits with ``storage``, but
+#: ``storage.live`` sits a layer above it -- ``core``/``telemetry`` may
+#: depend on the lake, never on the streaming subsystem riding on top.
 LAYERS: dict[str, int] = {
     "timeseries": 0,
     "models": 1,
@@ -123,6 +141,8 @@ LAYERS: dict[str, int] = {
     "metrics": 2,
     "features": 3,
     "storage": 3,
+    "storage.manifest": 3,
+    "storage.live": 4,
     "core": 4,
     "telemetry": 4,
     "serving": 5,
@@ -150,6 +170,7 @@ RULES: tuple[str, ...] = (
     "frozen-dataclass",
     "broad-except",
     "manifest-boundary",
+    "live-boundary",
 )
 
 #: Engine diagnostics (not suppressible, not selectable off).
@@ -163,6 +184,7 @@ RULE_DESCRIPTIONS: dict[str, str] = {
     "frozen-dataclass": "object.__setattr__ outside a frozen dataclass __post_init__",
     "broad-except": "bare/broad except swallowing in storage or serving",
     "manifest-boundary": "direct write/unlink of lake payload files outside repro.storage.manifest",
+    "live-boundary": "direct I/O on a live tail WAL outside repro.storage.live",
     "bad-pragma": "malformed suppression pragma (unknown rule or missing reason)",
     "unused-pragma": "suppression pragma that suppresses nothing",
     "parse-error": "file does not parse",
@@ -315,6 +337,20 @@ def _rule_api_boundary(ctx: _Context):
 # --------------------------------------------------------------------- #
 
 
+def _layer_key(module: str) -> str | None:
+    """The :data:`LAYERS` key governing ``module`` (longest dotted prefix).
+
+    ``repro.storage.live.wal`` resolves to ``storage.live``;
+    ``repro.storage.datalake`` falls back to ``storage``.
+    """
+    parts = module.split(".")[1:]
+    for end in range(len(parts), 0, -1):
+        candidate = ".".join(parts[:end])
+        if candidate in LAYERS:
+            return candidate
+    return None
+
+
 def _rule_import_layering(ctx: _Context):
     module = ctx.module
     if module is None or module == "repro":
@@ -353,15 +389,19 @@ def _rule_import_layering(ctx: _Context):
                     "import-layering",
                     "repro.devtools must stay stdlib-only so it can lint a broken tree",
                 )
-            elif target_pkg == "devtools":
+                continue
+            if target_pkg == "devtools":
                 yield Finding(
                     ctx.display_path,
                     node.lineno,
                     "import-layering",
                     "runtime code must not import repro.devtools (it is a dev tool)",
                 )
-            elif target_pkg not in LAYERS or own_pkg not in LAYERS:
-                unknown = target_pkg if target_pkg not in LAYERS else own_pkg
+                continue
+            own_key = _layer_key(module)
+            target_key = _layer_key(target)
+            if target_key is None or own_key is None:
+                unknown = target_pkg if target_key is None else own_pkg
                 yield Finding(
                     ctx.display_path,
                     node.lineno,
@@ -369,16 +409,16 @@ def _rule_import_layering(ctx: _Context):
                     f"package {unknown!r} is not in the declared layer map "
                     "(add it to repro.devtools.lint.LAYERS)",
                 )
-            elif LAYERS[target_pkg] >= LAYERS[own_pkg]:
+            elif LAYERS[target_key] >= LAYERS[own_key]:
                 yield Finding(
                     ctx.display_path,
                     node.lineno,
                     "import-layering",
-                    f"{own_pkg!r} (layer {LAYERS[own_pkg]}) may not import "
-                    f"{target_pkg!r} (layer {LAYERS[target_pkg]}); the declared DAG is "
+                    f"{own_key!r} (layer {LAYERS[own_key]}) may not import "
+                    f"{target_key!r} (layer {LAYERS[target_key]}); the declared DAG is "
                     "timeseries < models/parallel/validation < metrics < "
-                    "features/storage < core/telemetry < serving < "
-                    "scheduling/autoscale < fleet_ops",
+                    "features/storage(.manifest) < core/telemetry/storage.live < "
+                    "serving < scheduling/autoscale < fleet_ops",
                 )
 
 
@@ -674,7 +714,7 @@ def _rule_frozen_dataclass(ctx: _Context):
 
 
 # --------------------------------------------------------------------- #
-# Rule: manifest-boundary
+# Rules: manifest-boundary, live-boundary (storage ownership boundaries)
 # --------------------------------------------------------------------- #
 
 #: The one package allowed to create, replace or unlink lake payload
@@ -722,6 +762,56 @@ def _is_write_mode(node: ast.Call) -> bool:
         ):
             return True
     return False
+
+
+#: The one package allowed to read or write the live ingestion WAL.
+#: Everybody else observes the tail through ``DataLakeStore.query()``
+#: (which folds it in via :class:`repro.storage.live.LiveTailIndex`).
+LIVE_OWNER = "repro.storage.live"
+
+#: File-I/O calls that, combined with a tail-WAL path expression,
+#: bypass the CRC-framed append/replay protocol.
+_TAIL_IO_CALLS = frozenset(
+    {"open", "read_bytes", "write_bytes", "read_text", "write_text", "unlink", "replace"}
+)
+
+#: Calls that resolve a tail-WAL path; their presence in an I/O call's
+#: expression marks the target as live-owned.
+_TAIL_PATH_CALLS = frozenset({"wal_path", "live_dir"})
+
+
+def _mentions_tail_wal(node: ast.AST) -> bool:
+    """Whether ``node``'s expression tree involves the live tail WAL:
+    a ``tail.wal`` filename literal or a call to the path-resolving
+    helpers (``wal_path``, ``live_dir``)."""
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Constant)
+            and isinstance(sub.value, str)
+            and "tail.wal" in sub.value
+        ):
+            return True
+        if isinstance(sub, ast.Call) and _call_name(sub.func) in _TAIL_PATH_CALLS:
+            return True
+    return False
+
+
+def _rule_live_boundary(ctx: _Context):
+    if _within(ctx.module, (LIVE_OWNER,)):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(node.func)
+        if name in _TAIL_IO_CALLS and _mentions_tail_wal(node):
+            yield Finding(
+                ctx.display_path,
+                node.lineno,
+                "live-boundary",
+                f"direct {name}() on a live tail WAL outside {LIVE_OWNER}; the "
+                "CRC-framed WAL protocol (append/replay/seal-trim) has exactly "
+                "one home -- go through LiveIngestor or DataLakeStore.query()",
+            )
 
 
 def _rule_manifest_boundary(ctx: _Context):
@@ -807,6 +897,7 @@ _RULE_FUNCTIONS = {
     "frozen-dataclass": _rule_frozen_dataclass,
     "broad-except": _rule_broad_except,
     "manifest-boundary": _rule_manifest_boundary,
+    "live-boundary": _rule_live_boundary,
 }
 
 

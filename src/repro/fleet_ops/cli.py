@@ -1,6 +1,6 @@
 """Command-line entry point: ``python -m repro.fleet_ops``.
 
-Four commands:
+Five commands:
 
 * the default (no subcommand) generates (or reuses) a synthetic
   multi-region lake, runs the fleet orchestrator over every
@@ -16,7 +16,11 @@ Four commands:
   crash leftovers recovery would clean up;
 * ``python -m repro.fleet_ops gc`` physically reclaims segment files and
   generations no longer referenced by the current committed generation
-  (deletes are logical until this runs).
+  (deletes are logical until this runs);
+* ``python -m repro.fleet_ops live`` simulates the streaming data plane:
+  telemetry batches land in per-partition tail WALs, day-boundary seals
+  commit manifest transactions, and drift verdicts on sealed windows
+  retrain and promote serving models -- the full live loop in one process.
 """
 
 from __future__ import annotations
@@ -30,7 +34,7 @@ from pathlib import Path
 from repro.core.config import PipelineConfig
 from repro.fleet_ops.orchestrator import FleetOrchestrator
 from repro.fleet_ops.synthesis import populate_lake
-from repro.storage.datalake import EXTRACT_FORMATS, DataLakeStore
+from repro.storage.datalake import EXTRACT_FORMATS, DataLakeStore, ExtractKey
 from repro.storage.migrate import ConversionVerificationError, convert_lake
 from repro.telemetry.fleet import default_fleet_spec
 
@@ -279,6 +283,223 @@ def gc_main(argv: list[str]) -> int:
     return 0
 
 
+def build_live_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fleet_ops live",
+        description="Simulate the live data plane: stream synthetic telemetry "
+        "batches into tail WALs, seal them into the lake at day boundaries, "
+        "and let window drift retrain and promote serving models.",
+    )
+    parser.add_argument(
+        "--lake-dir",
+        default=None,
+        help="directory for the lake (default: a temporary directory)",
+    )
+    parser.add_argument("--region", default="region-live", help="region to ingest into")
+    parser.add_argument("--servers", type=int, default=4, help="servers in the region")
+    parser.add_argument("--days", type=int, default=4, help="days of telemetry to stream")
+    parser.add_argument(
+        "--batch-minutes",
+        type=int,
+        default=60,
+        help="minutes of raw (1-minute) samples per ingested batch",
+    )
+    parser.add_argument(
+        "--interval",
+        type=int,
+        default=None,
+        dest="interval_minutes",
+        help="extract grid sealed segments are bucketed onto "
+        "(default: the canonical 5-minute grid)",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="telemetry generator seed")
+    parser.add_argument(
+        "--model",
+        default="persistent_previous_day",
+        help="forecaster the serving bridge (re)trains",
+    )
+    parser.add_argument(
+        "--drift-day",
+        type=int,
+        default=2,
+        help="day index from which the load pattern shifts (provokes a "
+        "drift verdict and a retrain; pass a value >= --days for none)",
+    )
+    parser.add_argument(
+        "--drift-factor",
+        type=float,
+        default=3.0,
+        help="multiplier applied to the load from --drift-day on",
+    )
+    parser.add_argument(
+        "--fsync-every",
+        type=int,
+        default=16,
+        help="ingested batches between WAL fsyncs (1 = every batch durable)",
+    )
+    parser.add_argument("--json", action="store_true", help="emit the report as JSON")
+    return parser
+
+
+def live_main(argv: list[str]) -> int:
+    import numpy as np
+
+    from repro.serving import LiveServingBridge, PredictionService
+    from repro.storage.live import LiveIngestError, LiveIngestor
+    from repro.storage.manifest import LakeManifestError
+    from repro.timeseries.calendar import (
+        DEFAULT_INTERVAL_MINUTES,
+        MINUTES_PER_DAY,
+        week_index,
+    )
+    from repro.timeseries.frame import ServerMetadata
+
+    args = build_live_parser().parse_args(argv)
+    interval = (
+        args.interval_minutes
+        if args.interval_minutes is not None
+        else DEFAULT_INTERVAL_MINUTES
+    )
+    if args.servers < 1 or args.days < 1:
+        print("--servers and --days must be at least 1", file=sys.stderr)
+        return 2
+    if args.batch_minutes < 1 or args.batch_minutes > MINUTES_PER_DAY:
+        print("--batch-minutes must be between 1 and a day", file=sys.stderr)
+        return 2
+    if interval < 1 or MINUTES_PER_DAY % interval != 0:
+        print("--interval must divide a day (seals land on day boundaries)", file=sys.stderr)
+        return 2
+    if args.drift_factor <= 0:
+        print("--drift-factor must be positive", file=sys.stderr)
+        return 2
+    if args.fsync_every < 1:
+        print("--fsync-every must be at least 1", file=sys.stderr)
+        return 2
+
+    lake_dir = args.lake_dir
+    temp_holder: tempfile.TemporaryDirectory[str] | None = None
+    if lake_dir is None:
+        temp_holder = tempfile.TemporaryDirectory(prefix="seagull-live-")
+        lake_dir = temp_holder.name
+
+    rng = np.random.default_rng(args.seed)
+    metadata = [
+        ServerMetadata(server_id=f"srv-{i:03d}", region=args.region)
+        for i in range(args.servers)
+    ]
+    days: list[dict[str, object]] = []
+    try:
+        store = DataLakeStore(lake_dir)
+        service = PredictionService()
+        bridge = LiveServingBridge(store, service, model_name=args.model)
+        with LiveIngestor(
+            store,
+            interval_minutes=interval,
+            chunk_minutes=MINUTES_PER_DAY,
+            fsync_every=args.fsync_every,
+        ) as ingestor:
+            for day in range(args.days):
+                day_start = day * MINUTES_PER_DAY
+                key = ExtractKey(region=args.region, week=week_index(day_start))
+                factor = args.drift_factor if day >= args.drift_day else 1.0
+                rows = batches = 0
+                for offset in range(0, MINUTES_PER_DAY, args.batch_minutes):
+                    span = min(args.batch_minutes, MINUTES_PER_DAY - offset)
+                    ts = np.arange(day_start + offset, day_start + offset + span)
+                    minute_of_day = (ts % MINUTES_PER_DAY).astype(np.float64)
+                    diurnal = 50.0 + 25.0 * np.sin(
+                        2.0 * np.pi * minute_of_day / MINUTES_PER_DAY
+                    )
+                    for meta in metadata:
+                        load = factor * diurnal + rng.normal(0.0, 2.0, size=ts.size)
+                        rows += ingestor.ingest(key, meta, ts, np.maximum(load, 0.0))
+                        batches += 1
+                entry: dict[str, object] = {
+                    "day": day,
+                    "rows_ingested": rows,
+                    "batches": batches,
+                    "seals": [],
+                }
+                for report in ingestor.seal_due(day_start + MINUTES_PER_DAY):
+                    event = bridge.on_sealed(report)
+                    entry["seals"].append(  # type: ignore[union-attr]
+                        {
+                            "region": report.region,
+                            "week": report.week,
+                            "sealed_through": report.sealed_through,
+                            "rows_sealed": report.rows_sealed,
+                            "generation": report.generation,
+                            "tail_rows_remaining": report.tail_rows_remaining,
+                            "mean_load": event.summary.mean_load,
+                            "drifted": event.verdict.drifted
+                            if event.verdict is not None
+                            else None,
+                            "action": event.action,
+                            "active_version": event.active_version,
+                        }
+                    )
+                days.append(entry)
+            pending = ingestor.pending_rows()
+        manifest = store.manifest
+        generation = manifest.current().generation if manifest is not None else 0
+        health = service.health(args.region)
+    except (LiveIngestError, LakeManifestError, PermissionError) as exc:
+        print(f"live simulation aborted: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if temp_holder is not None:
+            temp_holder.cleanup()
+
+    if args.json:
+        payload = {
+            "lake_dir": None if temp_holder is not None else lake_dir,
+            "region": args.region,
+            "interval_minutes": interval,
+            "days": days,
+            "generation": generation,
+            "tail_rows_pending": pending,
+            "health": health,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    print(
+        f"Live ingestion: region {args.region!r}, {args.servers} server(s), "
+        f"{args.days} day(s), {interval}-minute grid"
+    )
+    for entry in days:
+        print(
+            f"  day {entry['day']}: {entry['rows_ingested']} raw row(s) "
+            f"in {entry['batches']} batch(es)"
+        )
+        for seal in entry["seals"]:  # type: ignore[union-attr]
+            drift = (
+                "baseline"
+                if seal["drifted"] is None
+                else ("drifted" if seal["drifted"] else "stable")
+            )
+            promoted = (
+                f" -> version {seal['active_version']}"
+                if seal["action"] in ("bootstrap", "retrain")
+                else ""
+            )
+            print(
+                f"    seal week {seal['week']} through {seal['sealed_through']}: "
+                f"{seal['rows_sealed']} grid row(s), generation {seal['generation']}, "
+                f"mean load {seal['mean_load']:.1f}, {drift}, "
+                f"action {seal['action']}{promoted}"
+            )
+    print(
+        f"Committed generation {generation}; "
+        f"{pending} raw row(s) left in the tail"
+    )
+    print(
+        f"Serving health: active version {health['active_version']} "
+        f"({health['active_model']}), {health['n_versions']} version(s) deployed"
+    )
+    return 0
+
+
 def run_main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -348,4 +569,6 @@ def main(argv: list[str] | None = None) -> int:
         return manifest_main(argv[1:])
     if argv and argv[0] == "gc":
         return gc_main(argv[1:])
+    if argv and argv[0] == "live":
+        return live_main(argv[1:])
     return run_main(argv)

@@ -21,10 +21,13 @@ from repro.serving.api import (
     VersionMismatchError,
 )
 from repro.serving.cache import PredictionCache, PredictionCacheStats, prediction_cache_key
+from repro.serving.live_bridge import LiveServingBridge, LiveServingEvent
 from repro.serving.service import PredictionService, history_fingerprint
 
 __all__ = [
     "BatchPredictionResponse",
+    "LiveServingBridge",
+    "LiveServingEvent",
     "NoActiveVersionError",
     "PredictionCache",
     "PredictionCacheStats",

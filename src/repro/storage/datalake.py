@@ -26,7 +26,14 @@ projections are pushed down into the ``.sgx`` reader; CSV extracts get
 post-parse equivalents, so both formats answer identically) and
 :meth:`DataLakeStore.scan` streams the same answer one server at a time.
 ``read_extract`` remains as a thin back-compat shim that builds a query
-internally.
+internally.  Extracts are read at the sampling interval they record and
+bucket-mean resampled onto ``q.interval_minutes`` on the way out, so the
+field is an honest contract rather than a relabeling.  Reads also unify
+the committed lake with the *live tail* (:mod:`repro.storage.live`):
+unsealed ingested rows under ``_manifest/live/`` answer through the same
+filters, projections and aggregate accumulators (``stats``
+counts them in ``tail_rows_scanned``), except for pinned stores -- a pin
+names a committed generation, and the tail is by definition uncommitted.
 
 Durability is the manifest subsystem's job
 (:mod:`repro.storage.manifest`): on-disk lakes keep their truth in a
@@ -51,6 +58,7 @@ import hashlib
 from collections.abc import Iterator
 from dataclasses import dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.storage import columnar, csv_io
 from repro.storage.aggregate import AggregateAccumulator
@@ -72,11 +80,16 @@ from repro.storage.query import (
     ScanStats,
     check_format,
     project_series,
+    resample_series,
     truncate_series,
 )
 from repro.timeseries.calendar import DEFAULT_INTERVAL_MINUTES
 from repro.timeseries.frame import LoadFrame, ServerMetadata
+from repro.timeseries.resample import regularize
 from repro.timeseries.series import LoadSeries
+
+if TYPE_CHECKING:
+    from repro.storage.live.wal import LiveTailIndex
 
 __all__ = [
     "EXTRACT_FORMATS",
@@ -161,6 +174,7 @@ class DataLakeStore:
             raise ValueError("chunk_minutes must be a non-negative number of minutes")
         self._chunk_minutes = chunk_minutes
         self._manifest = LakeManifest(self._root) if self._root is not None else None
+        self._live: LiveTailIndex | None = None
         self._pinned: ManifestSnapshot | None = None
         if pinned_generation is not None:
             if self._manifest is None:
@@ -257,6 +271,22 @@ class DataLakeStore:
         if self._pinned is not None:
             return self._pinned
         return self._manifest.current()
+
+    def _tail_index(self) -> "LiveTailIndex | None":
+        """The lake's live-tail view, or ``None`` when reads must not see
+        unsealed rows (in-memory stores have no tails; pinned stores name
+        a committed generation, which the tail is by definition not part
+        of)."""
+        if self._root is None or self._pinned is not None:
+            return None
+        if self._live is None:
+            # Imported lazily: repro.storage.live sits one layer above
+            # this module (its ingestor writes through the store), so a
+            # module-level import would be a cycle.
+            from repro.storage.live.wal import LiveTailIndex
+
+            self._live = LiveTailIndex(self._root)
+        return self._live
 
     def _entry(self, key: ExtractKey, fmt: str, snap: ManifestSnapshot) -> SegmentEntry:
         entry = snap.entry(key.region, key.week, fmt)
@@ -401,11 +431,24 @@ class DataLakeStore:
         return keys
 
     def _query_keys(
-        self, q: ExtractQuery, snap: ManifestSnapshot | None
+        self,
+        q: ExtractQuery,
+        snap: ManifestSnapshot | None,
+        tails: "LiveTailIndex | None" = None,
     ) -> list[ExtractKey]:
-        """Extract keys inside ``q``'s partition scope, sorted."""
+        """Extract keys inside ``q``'s partition scope, sorted.
+
+        With ``tails`` given, partitions that exist *only* as a live tail
+        (first batches ingested, nothing sealed yet) are included too.
+        """
         region = q.regions[0] if q.regions is not None and len(q.regions) == 1 else None
-        return [key for key in self._list_keys(snap, region) if q.matches_key(key)]
+        keys = {key for key in self._list_keys(snap, region) if q.matches_key(key)}
+        if tails is not None:
+            for tail_region, week in tails.keys():
+                key = ExtractKey(region=tail_region, week=week)
+                if q.matches_key(key):
+                    keys.add(key)
+        return sorted(keys)
 
     def _read_csv_for_query(
         self,
@@ -421,20 +464,23 @@ class DataLakeStore:
         the parse and produce exactly the frame the ``.sgx`` pushdowns
         would.  In particular, a ranged read drops servers whose sliced
         series come up empty -- same as the ``.sgx`` path omitting
-        servers with no samples in range.
+        servers with no samples in range.  The parse uses the canonical
+        CSV grid (the schema records no interval of its own) and
+        ``q.interval_minutes`` is honoured by resampling, exactly like
+        the ``.sgx`` path.
         """
         raw = self._stored_bytes(key, "csv", snap)
-        frame = csv_io.frame_from_csv_text(
-            raw.decode("utf-8"),
-            q.interval_minutes if q.interval_minutes is not None else DEFAULT_INTERVAL_MINUTES,
-        )
+        frame = csv_io.frame_from_csv_text(raw.decode("utf-8"), DEFAULT_INTERVAL_MINUTES)
         if stats is not None:
             stats.payload_bytes_stored += len(raw)
             stats.payload_bytes_verified += len(raw)
         allow = set(q.servers) if q.servers is not None else None
         predicate = q.metadata_predicate()
         rng = q.time_range() if q.is_ranged else None
-        out = LoadFrame(frame.interval_minutes)
+        target = (
+            q.interval_minutes if q.interval_minutes is not None else frame.interval_minutes
+        )
+        out = LoadFrame(target)
         for server_id, metadata, series in frame.items():
             if stats is not None:
                 stats.servers_seen += 1
@@ -445,6 +491,7 @@ class DataLakeStore:
                     stats.servers_skipped += 1
                 continue
             series = project_series(series, q.wants_values, rng)
+            series = resample_series(series, target, rng)
             if q.is_ranged and series.is_empty:
                 continue  # parity with .sgx: no samples in range, omitted
             out.add_server(metadata, series)
@@ -458,7 +505,12 @@ class DataLakeStore:
         snap: ManifestSnapshot | None,
     ) -> LoadFrame:
         """Materialise ``q`` against one stored extract, negotiating the
-        format (damaged ``.sgx`` degrades to a co-located CSV copy)."""
+        format (damaged ``.sgx`` degrades to a co-located CSV copy).
+
+        ``.sgx`` extracts are decoded at the interval they record (the
+        pushdowns prune on the stored layout) and resampled onto
+        ``q.interval_minutes`` afterwards -- the honest half of the
+        query's interval contract."""
         formats = self._resolve_format(key, q.fmt, snap)
         if stats is not None:
             stats.extracts_scanned += 1
@@ -467,7 +519,7 @@ class DataLakeStore:
             try:
                 frame = columnar.frame_from_sgx_bytes(
                     self._stored_bytes(key, "sgx", snap),
-                    q.interval_minutes,
+                    None,
                     start_minute=q.start_minute,
                     end_minute=q.end_minute,
                     stats=sgx_stats,
@@ -481,8 +533,104 @@ class DataLakeStore:
             else:
                 if stats is not None:
                     stats.absorb_sgx(sgx_stats)
-                return frame
+                return self._resample_frame(frame, q)
         return self._read_csv_for_query(key, q, stats, snap)
+
+    def _resample_frame(self, frame: LoadFrame, q: ExtractQuery) -> LoadFrame:
+        """Bucket-mean ``frame`` onto ``q.interval_minutes`` (no-op when
+        the intervals agree or the query defers to the stored one)."""
+        target = q.interval_minutes
+        if target is None or frame.interval_minutes == target:
+            return frame
+        rng = q.time_range() if q.is_ranged else None
+        out = LoadFrame(target)
+        for _server_id, metadata, series in frame.items():
+            series = resample_series(series, target, rng)
+            if q.is_ranged and series.is_empty:
+                continue
+            out.add_server(metadata, series)
+        return out
+
+    def _tail_frame_for_query(
+        self,
+        key: ExtractKey,
+        q: ExtractQuery,
+        stats: ScanStats | None,
+        tails: "LiveTailIndex",
+    ) -> LoadFrame | None:
+        """Materialise ``q`` against ``key``'s live tail, if it has one.
+
+        Raw tail rows go through the same filters and projections the
+        committed paths apply, bucketed onto ``q.interval_minutes`` (or,
+        when the query defers, the grid the ingestor records in the WAL
+        header -- the grid a seal would produce).  Rows consulted are
+        counted in ``stats.tail_rows_scanned``.
+        """
+        snapshot = tails.tail(key.region, key.week)
+        if snapshot is None:
+            return None
+        target = (
+            q.interval_minutes
+            if q.interval_minutes is not None
+            else snapshot.interval_minutes
+        )
+        allow = set(q.servers) if q.servers is not None else None
+        predicate = q.metadata_predicate()
+        rng = q.time_range() if q.is_ranged else None
+        out = LoadFrame(target)
+        for server_id, (metadata, ts, vs) in sorted(snapshot.servers.items()):
+            if stats is not None:
+                stats.servers_seen += 1
+            if (allow is not None and server_id not in allow) or (
+                predicate is not None and not predicate(metadata)
+            ):
+                if stats is not None:
+                    stats.servers_skipped += 1
+                continue
+            if stats is not None:
+                stats.tail_rows_scanned += int(ts.size)
+            series = project_series(regularize(ts, vs, target), q.wants_values, rng)
+            if q.is_ranged and series.is_empty:
+                continue
+            out.add_server(metadata, series)
+        return out if len(out) else None
+
+    def _aggregate_tail(
+        self,
+        key: ExtractKey,
+        q: ExtractQuery,
+        accumulator: AggregateAccumulator,
+        stats: ScanStats | None,
+        tails: "LiveTailIndex",
+    ) -> None:
+        """Fold ``key``'s live tail into ``accumulator``.
+
+        Tail rows are bucketed onto the ingestor's grid first -- the same
+        representation a seal would commit -- so an aggregate's answer
+        does not change when the window it covers moves from the tail
+        into a sealed segment.
+        """
+        snapshot = tails.tail(key.region, key.week)
+        if snapshot is None:
+            return
+        allow = set(q.servers) if q.servers is not None else None
+        predicate = q.metadata_predicate()
+        rng = q.time_range() if q.is_ranged else None
+        for server_id, (metadata, ts, vs) in sorted(snapshot.servers.items()):
+            if stats is not None:
+                stats.servers_seen += 1
+            if (allow is not None and server_id not in allow) or (
+                predicate is not None and not predicate(metadata)
+            ):
+                if stats is not None:
+                    stats.servers_skipped += 1
+                continue
+            if stats is not None:
+                stats.tail_rows_scanned += int(ts.size)
+            series = regularize(ts, vs, snapshot.interval_minutes)
+            if rng is not None:
+                series = series.slice(*rng)
+            accumulator.fold_columns(server_id, series.timestamps, series.values)
 
     def _aggregate_csv(
         self,
@@ -566,7 +714,11 @@ class DataLakeStore:
         self._aggregate_csv(key, q, accumulator, stats, snap)
 
     def _query_aggregate(
-        self, q: ExtractQuery, stats: ScanStats, snap: ManifestSnapshot | None
+        self,
+        q: ExtractQuery,
+        stats: ScanStats,
+        snap: ManifestSnapshot | None,
+        tails: "LiveTailIndex | None",
     ) -> QueryResult:
         """Answer an aggregate query: reductions, no materialised rows.
 
@@ -581,8 +733,11 @@ class DataLakeStore:
         """
         assert q.aggregates is not None
         accumulator = AggregateAccumulator(q.aggregates, q.group_by)
-        for key in self._query_keys(q, snap):
-            self._aggregate_one(key, q, accumulator, stats, snap)
+        for key in self._query_keys(q, snap, tails):
+            if self._stored_formats(key, snap):
+                self._aggregate_one(key, q, accumulator, stats, snap)
+            if tails is not None:
+                self._aggregate_tail(key, q, accumulator, stats, tails)
         empty = LoadFrame(
             q.interval_minutes if q.interval_minutes is not None else DEFAULT_INTERVAL_MINUTES
         )
@@ -590,7 +745,13 @@ class DataLakeStore:
             query=q, frame=empty, stats=stats, aggregates=accumulator.results()
         )
 
-    def query(self, q: ExtractQuery, principal: str | None = None) -> QueryResult:
+    def query(
+        self,
+        q: ExtractQuery,
+        principal: str | None = None,
+        *,
+        include_tail: bool = True,
+    ) -> QueryResult:
         """Answer ``q`` with one materialised frame plus scan statistics.
 
         Every extract in ``q``'s partition scope is read with the
@@ -606,6 +767,14 @@ class DataLakeStore:
         :class:`ExtractNotFoundError` when a matched key lacks that
         format's copy.
 
+        Unless ``include_tail=False`` (or the store is pinned, or
+        ``q.fmt`` forces one stored format), partitions with live-tail
+        rows answer from committed segments *plus* the tail: the unsealed
+        rows ride after the committed ones through the same filters and
+        accumulators, counted in ``stats.tail_rows_scanned``.  The seal
+        path reads with ``include_tail=False`` -- merging the tail back
+        on top of itself would double-count.
+
         An aggregate query (``q.aggregates`` set) returns reductions in
         ``result.aggregates`` instead of rows -- see
         :meth:`_query_aggregate` for the decode-avoidance contract.
@@ -613,41 +782,49 @@ class DataLakeStore:
         self._check_access(principal)
         stats = ScanStats()
         snap = self._snapshot()
+        tails = self._tail_index() if include_tail and q.fmt is None else None
         if q.is_aggregate:
-            return self._query_aggregate(q, stats, snap)
+            return self._query_aggregate(q, stats, snap, tails)
         out: LoadFrame | None = None
         remaining = q.limit
-        for key in self._query_keys(q, snap):
+        for key in self._query_keys(q, snap, tails):
             if remaining is not None and remaining <= 0:
                 break
-            frame = self._read_one_for_query(key, q, stats, snap)
-            if out is None:
-                out = LoadFrame(frame.interval_minutes)
-            elif frame.interval_minutes != out.interval_minutes:
-                raise QueryError(
-                    f"extracts matched by the query record different sampling "
-                    f"intervals ({out.interval_minutes} vs {frame.interval_minutes} "
-                    f"minutes for {key})"
-                )
-            for server_id, metadata, series in frame.items():
-                if remaining is not None:
-                    if remaining <= 0:
-                        break
-                    series = truncate_series(series, remaining)
-                    remaining -= len(series)
-                if server_id in out:
-                    try:
-                        merged = out.series(server_id).concat(series)
-                    except ValueError as exc:
-                        raise QueryError(
-                            f"server {server_id!r} appears in several matched extracts "
-                            f"with overlapping samples; narrow the query's weeks/regions "
-                            f"({exc})"
-                        ) from exc
-                    out.add_server(out.metadata(server_id), merged, overwrite=True)
-                else:
-                    out.add_server(metadata, series)
-                stats.rows += len(series)
+            frames: list[LoadFrame] = []
+            if self._stored_formats(key, snap):
+                frames.append(self._read_one_for_query(key, q, stats, snap))
+            if tails is not None:
+                tail_frame = self._tail_frame_for_query(key, q, stats, tails)
+                if tail_frame is not None:
+                    frames.append(tail_frame)
+            for frame in frames:
+                if out is None:
+                    out = LoadFrame(frame.interval_minutes)
+                elif frame.interval_minutes != out.interval_minutes:
+                    raise QueryError(
+                        f"extracts matched by the query record different sampling "
+                        f"intervals ({out.interval_minutes} vs {frame.interval_minutes} "
+                        f"minutes for {key})"
+                    )
+                for server_id, metadata, series in frame.items():
+                    if remaining is not None:
+                        if remaining <= 0:
+                            break
+                        series = truncate_series(series, remaining)
+                        remaining -= len(series)
+                    if server_id in out:
+                        try:
+                            merged = out.series(server_id).concat(series)
+                        except ValueError as exc:
+                            raise QueryError(
+                                f"server {server_id!r} appears in several matched "
+                                f"extracts with overlapping samples; narrow the "
+                                f"query's weeks/regions ({exc})"
+                            ) from exc
+                        out.add_server(out.metadata(server_id), merged, overwrite=True)
+                    else:
+                        out.add_server(metadata, series)
+                    stats.rows += len(series)
         if out is None:
             out = LoadFrame(
                 q.interval_minutes if q.interval_minutes is not None else DEFAULT_INTERVAL_MINUTES
@@ -678,7 +855,7 @@ class DataLakeStore:
             sgx_stats = SgxReadStats()
             generator = columnar.scan_sgx_bytes(
                 self._stored_bytes(key, "sgx", snap),
-                q.interval_minutes,
+                None,
                 q.start_minute,
                 q.end_minute,
                 servers=q.servers,
@@ -711,11 +888,36 @@ class DataLakeStore:
         ).items():
             yield metadata, series
 
+    def _scan_sources(
+        self,
+        key: ExtractKey,
+        q: ExtractQuery,
+        stats: ScanStats | None,
+        snap: ManifestSnapshot | None,
+        tails: "LiveTailIndex | None",
+    ) -> Iterator[tuple[ServerMetadata, LoadSeries]]:
+        """One partition's scan stream: committed servers first (resampled
+        onto ``q.interval_minutes``), then its live-tail servers."""
+        if self._stored_formats(key, snap):
+            rng = q.time_range() if q.is_ranged else None
+            for metadata, series in self._scan_one(key, q, stats, snap):
+                series = resample_series(series, q.interval_minutes, rng)
+                if q.is_ranged and series.is_empty:
+                    continue
+                yield metadata, series
+        if tails is not None:
+            tail_frame = self._tail_frame_for_query(key, q, stats, tails)
+            if tail_frame is not None:
+                for _server_id, metadata, series in tail_frame.items():
+                    yield metadata, series
+
     def scan(
         self,
         q: ExtractQuery,
         principal: str | None = None,
         stats: ScanStats | None = None,
+        *,
+        include_tail: bool = True,
     ) -> Iterator[tuple[ExtractKey, ServerMetadata, LoadSeries]]:
         """Stream ``q``'s answer as ``(key, metadata, series)`` triples.
 
@@ -727,7 +929,10 @@ class DataLakeStore:
         (the scan returns the moment the limit is exhausted, before the
         next server's payload would be decoded).  Like :meth:`query`, a
         scan refuses to silently mix sampling intervals across matched
-        extracts.  ``stats``, when given, fills in as the scan advances.
+        extracts, applies the ``q.interval_minutes`` resample, and (unless
+        ``include_tail=False``, a pinned store or a forced ``q.fmt``)
+        streams each partition's live-tail servers after its committed
+        ones.  ``stats``, when given, fills in as the scan advances.
         Aggregate queries have no row stream -- use :meth:`query`.
         """
         self._check_access(principal)
@@ -744,9 +949,10 @@ class DataLakeStore:
         # writers publishing new generations never change what an
         # in-flight scan observes.
         snap = self._snapshot()
+        tails = self._tail_index() if include_tail and q.fmt is None else None
         expected_interval: int | None = None
-        for key in self._query_keys(q, snap):
-            for metadata, series in self._scan_one(key, q, stats, snap):
+        for key in self._query_keys(q, snap, tails):
+            for metadata, series in self._scan_sources(key, q, stats, snap, tails):
                 if expected_interval is None:
                     expected_interval = series.interval_minutes
                 elif series.interval_minutes != expected_interval:

@@ -1,0 +1,643 @@
+"""Append-only, CRC-framed write-ahead log for the lake's live tail.
+
+One ``tail.wal`` file per active ``(region, week)`` partition, living under
+``_manifest/live/<region>/week<NNNN>.tail.wal`` -- *inside* the manifest
+directory on purpose: the manifest's orphan sweep and ``collect_garbage``
+never descend into ``_manifest``'s subdirectories, so an active tail can
+never be reclaimed as garbage.  The hot append path stays out of the
+strict per-mutation manifest protocol (the partially-constrained-log idea:
+constrain only what recovery needs); durability is fsync-*batched*, so a
+crashed collector loses at most the batches appended since the last fsync.
+
+On-disk layout::
+
+    header   MAGIC "SGWL" | u16 version | u32 interval_minutes |
+             u32 week | i64 sealed_through | u16 len | region utf-8 |
+             u32 crc32(everything before)
+    frame*   u32 payload_len | u32 crc32(payload) | payload
+    payload  u32 meta_len | meta json (one server's metadata + row count) |
+             i64 timestamps ... | f64 values ...
+
+Each frame is one ingested batch for one server: raw (possibly irregular)
+``(timestamp, value)`` samples.  Readers bucket them onto the extract grid
+with :func:`repro.timeseries.resample.regularize`.
+
+``sealed_through`` is the tail's low-water mark: rows strictly below it
+have been sealed into an immutable ``.sgx`` segment by a committed
+manifest transaction and must be ignored on replay.  Because a crash can
+land *between* the manifest commit and the WAL rewrite that trims the
+sealed rows, the committed transaction log is the second half of the
+truth: the seal transaction's ``op`` string encodes the watermark, and
+:func:`committed_seal_watermark` recovers it, so replay dedupes exactly
+like PR 9's recovery replays the txlog.
+
+A torn tail (crash mid-append) is detected by the length/CRC framing:
+the partial last frame is dropped *loudly* (a :class:`LiveWalWarning` plus
+counters in :class:`TailReplay`) and every complete frame before it
+survives -- mirroring the manifest txlog's torn-tail semantics.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import struct
+import warnings
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.storage.manifest.manifest import (
+    LIVE_DIR_NAME,
+    MANIFEST_DIR_NAME,
+    TXLOG_NAME,
+)
+from repro.storage.manifest.txlog import TransactionLog
+from repro.timeseries.frame import ServerMetadata
+
+__all__ = [
+    "LIVE_DIR_NAME",
+    "NO_WATERMARK",
+    "LiveTailIndex",
+    "LiveWalError",
+    "LiveWalWarning",
+    "TailFrame",
+    "TailReplay",
+    "TailSnapshot",
+    "TailWal",
+    "committed_seal_watermark",
+    "live_dir",
+    "seal_op",
+    "wal_path",
+]
+
+_WAL_MAGIC = b"SGWL"
+_WAL_VERSION = 1
+#: ``magic | version | interval | week | sealed_through | region_len``
+_HEADER_FIXED = struct.Struct("<4sHIIqH")
+_FRAME_HEADER = struct.Struct("<II")
+_U32 = struct.Struct("<I")
+
+#: ``sealed_through`` sentinel for "nothing sealed yet": below every valid
+#: epoch minute (:data:`repro.timeseries.calendar.MIN_MINUTE`).
+NO_WATERMARK = -(1 << 62)
+
+_WAL_NAME_RE = re.compile(r"^week(?P<week>\d{4,})\.tail\.wal$")
+_SEAL_OP_RE = re.compile(
+    r"^live-seal (?P<region>.+) week(?P<week>\d+) through (?P<through>-?\d+)$"
+)
+
+
+class LiveWalError(RuntimeError):
+    """A live-tail WAL could not be read or written coherently."""
+
+
+class LiveWalWarning(UserWarning):
+    """Emitted when replay drops torn/corrupt WAL bytes (loud, not silent)."""
+
+
+def live_dir(root: Path) -> Path:
+    """The lake's live-tail directory (``<root>/_manifest/live``)."""
+    return root / MANIFEST_DIR_NAME / LIVE_DIR_NAME
+
+
+def wal_path(root: Path, region: str, week: int) -> Path:
+    """Path of the tail WAL for one ``(region, week)`` partition."""
+    return live_dir(root) / region / f"week{week:04d}.tail.wal"
+
+
+def seal_op(region: str, week: int, through: int) -> str:
+    """The manifest-transaction ``op`` string for a seal through ``through``.
+
+    The watermark rides in the txlog on purpose: a committed seal whose
+    WAL rewrite was lost to a crash is recovered by parsing committed
+    ``live-seal`` ops back out of the log (see
+    :func:`committed_seal_watermark`).
+    """
+    return f"live-seal {region} week{week:04d} through {through}"
+
+
+def committed_seal_watermark(root: Path, region: str, week: int) -> int:
+    """Highest watermark of any *committed* seal of ``(region, week)``.
+
+    Walks the manifest transaction log exactly like crash recovery does:
+    an ``intent`` whose op parses as a seal of this partition contributes
+    its watermark once a ``commit`` (or a ``recovered`` resolution with
+    ``action="commit"``) for the same txid follows.  Returns
+    :data:`NO_WATERMARK` when no seal ever committed.
+    """
+    log = TransactionLog(root / MANIFEST_DIR_NAME / TXLOG_NAME)
+    watermark = NO_WATERMARK
+    intents: dict[str, int] = {}
+    for record in log.records():
+        kind = record.get("type")
+        if kind == "intent":
+            match = _SEAL_OP_RE.match(str(record.get("op", "")))
+            if (
+                match is not None
+                and match.group("region") == region
+                and int(match.group("week")) == week
+            ):
+                intents[str(record.get("txid", ""))] = int(match.group("through"))
+        elif kind == "commit" or (
+            kind == "recovered" and record.get("action") == "commit"
+        ):
+            through = intents.get(str(record.get("txid", "")))
+            if through is not None:
+                watermark = max(watermark, through)
+    return watermark
+
+
+@dataclass(frozen=True)
+class TailFrame:
+    """One replayed WAL frame: a raw ingested batch for one server."""
+
+    metadata: ServerMetadata
+    timestamps: np.ndarray  # int64 epoch minutes, batch order (may be irregular)
+    values: np.ndarray  # float64
+
+    def __len__(self) -> int:
+        return int(self.timestamps.size)
+
+
+@dataclass
+class TailReplay:
+    """What :func:`read_tail` recovered from one WAL file."""
+
+    region: str
+    week: int
+    interval_minutes: int
+    sealed_through: int
+    frames: list[TailFrame] = field(default_factory=list)
+    #: Complete frames whose rows all predate the effective watermark
+    #: (sealed by a committed transaction; dropped as duplicates).
+    frames_deduped: int = 0
+    #: Torn/corrupt frames dropped from the tail of the file.
+    frames_dropped: int = 0
+    bytes_dropped: int = 0
+
+    @property
+    def torn(self) -> bool:
+        return self.frames_dropped > 0 or self.bytes_dropped > 0
+
+    @property
+    def rows(self) -> int:
+        return sum(len(frame) for frame in self.frames)
+
+
+def _encode_header(
+    region: str, week: int, interval_minutes: int, sealed_through: int
+) -> bytes:
+    name = region.encode("utf-8")
+    body = _HEADER_FIXED.pack(
+        _WAL_MAGIC, _WAL_VERSION, interval_minutes, week, sealed_through, len(name)
+    ) + name
+    return body + _U32.pack(zlib.crc32(body))
+
+
+def encode_frame(metadata: ServerMetadata, timestamps: np.ndarray, values: np.ndarray) -> bytes:
+    """Encode one batch as a self-checking WAL frame."""
+    ts = np.ascontiguousarray(timestamps, dtype=np.int64)
+    vs = np.ascontiguousarray(values, dtype=np.float64)
+    if ts.shape != vs.shape or ts.ndim != 1:
+        raise LiveWalError("batch timestamps/values must be equal-length 1-d arrays")
+    meta = json.dumps(
+        {
+            "server": metadata.server_id,
+            "region": metadata.region,
+            "engine": metadata.engine,
+            "backup_start": metadata.default_backup_start,
+            "backup_end": metadata.default_backup_end,
+            "backup_duration": metadata.backup_duration_minutes,
+            "true_class": metadata.true_class,
+            "rows": int(ts.size),
+        },
+        sort_keys=True,
+    ).encode("utf-8")
+    payload = _U32.pack(len(meta)) + meta + ts.tobytes() + vs.tobytes()
+    return _FRAME_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def _decode_payload(payload: bytes) -> TailFrame:
+    if len(payload) < _U32.size:
+        raise LiveWalError("frame payload shorter than its metadata length field")
+    (meta_len,) = _U32.unpack_from(payload)
+    meta_end = _U32.size + meta_len
+    column_bytes = len(payload) - meta_end
+    if meta_len < 0 or column_bytes < 0 or column_bytes % 16 != 0:
+        raise LiveWalError("frame payload does not frame two equal column buffers")
+    meta = json.loads(payload[_U32.size:meta_end].decode("utf-8"))
+    rows = column_bytes // 16
+    if int(meta.get("rows", rows)) != rows:
+        raise LiveWalError("frame metadata row count disagrees with payload size")
+    ts = np.frombuffer(payload, dtype=np.int64, count=rows, offset=meta_end)
+    vs = np.frombuffer(payload, dtype=np.float64, count=rows, offset=meta_end + rows * 8)
+    metadata = ServerMetadata(
+        server_id=str(meta["server"]),
+        region=str(meta.get("region", "")),
+        engine=str(meta.get("engine", "postgresql")),
+        default_backup_start=int(meta.get("backup_start", 0)),
+        default_backup_end=int(meta.get("backup_end", 0)),
+        backup_duration_minutes=int(meta.get("backup_duration", 60)),
+        true_class=str(meta.get("true_class", "")),
+    )
+    return TailFrame(metadata, ts.copy(), vs.copy())
+
+
+def read_tail(path: Path, *, watermark: int | None = None) -> TailReplay | None:
+    """Replay one WAL file; ``None`` when it does not exist.
+
+    ``watermark``, when given, is the effective seal watermark (already
+    max'd with the txlog -- see :func:`committed_seal_watermark`); frames
+    are filtered to rows at or above it so sealed rows never surface
+    twice.  A torn or corrupt tail is dropped loudly: every complete,
+    checksummed frame before the damage survives, the rest is counted in
+    the replay report and warned about.  A file torn inside its *header*
+    (creation crashed before the first fsync) replays as an empty,
+    headerless tail -- the caller recreates it.
+    """
+    try:
+        data = path.read_bytes()
+    except FileNotFoundError:
+        return None
+    header_probe = _try_decode_header(data)
+    if header_probe is None:
+        warnings.warn(
+            f"live tail {path.name}: header torn or corrupt; "
+            f"treating the whole file ({len(data)} bytes) as an unacknowledged tail",
+            LiveWalWarning,
+            stacklevel=2,
+        )
+        replay = TailReplay("", -1, 0, NO_WATERMARK)
+        replay.bytes_dropped = len(data)
+        replay.frames_dropped = 0
+        return replay
+    region, week, interval, sealed_through, offset = header_probe
+    effective = sealed_through if watermark is None else max(sealed_through, watermark)
+    replay = TailReplay(region, week, interval, effective)
+    while offset < len(data):
+        remaining = len(data) - offset
+        if remaining < _FRAME_HEADER.size:
+            replay.frames_dropped += 1
+            replay.bytes_dropped += remaining
+            break
+        length, crc = _FRAME_HEADER.unpack_from(data, offset)
+        start = offset + _FRAME_HEADER.size
+        end = start + length
+        if end > len(data) or zlib.crc32(data[start:end]) != crc:
+            replay.frames_dropped += 1
+            replay.bytes_dropped += len(data) - offset
+            break
+        try:
+            frame = _decode_payload(data[start:end])
+        except (LiveWalError, ValueError, KeyError):
+            # The CRC passed but the payload does not parse: treat the
+            # frame -- and everything after it, since framing trust is
+            # gone -- as torn.
+            replay.frames_dropped += 1
+            replay.bytes_dropped += len(data) - offset
+            break
+        offset = end
+        keep = frame.timestamps >= effective
+        if not keep.all():
+            if not keep.any():
+                replay.frames_deduped += 1
+                continue
+            frame = TailFrame(
+                frame.metadata, frame.timestamps[keep], frame.values[keep]
+            )
+        replay.frames.append(frame)
+    if replay.torn:
+        warnings.warn(
+            f"live tail {path.name}: dropped {replay.bytes_dropped} torn trailing "
+            f"byte(s) ({replay.frames_dropped} partial frame(s)); "
+            f"{len(replay.frames)} complete frame(s) survive",
+            LiveWalWarning,
+            stacklevel=2,
+        )
+    return replay
+
+
+def _try_decode_header(
+    data: bytes,
+) -> tuple[str, int, int, int, int] | None:
+    """Decode the WAL header; ``None`` when torn/corrupt.
+
+    Returns ``(region, week, interval_minutes, sealed_through,
+    first_frame_offset)``.
+    """
+    if len(data) < _HEADER_FIXED.size:
+        return None
+    magic, version, interval, week, sealed_through, name_len = _HEADER_FIXED.unpack_from(
+        data
+    )
+    if magic != _WAL_MAGIC or version != _WAL_VERSION:
+        return None
+    end = _HEADER_FIXED.size + name_len
+    if len(data) < end + _U32.size:
+        return None
+    (crc,) = _U32.unpack_from(data, end)
+    if zlib.crc32(data[:end]) != crc:
+        return None
+    region = data[_HEADER_FIXED.size:end].decode("utf-8")
+    return region, week, interval, sealed_through, end + _U32.size
+
+
+def _fsync_dir(path: Path) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+class TailWal:
+    """Writer handle for one partition's tail WAL.
+
+    ``open()`` replays the existing file (if any), self-heals a torn tail
+    by atomically rewriting the surviving frames, and leaves the handle
+    positioned for appends.  Appends are fsync-batched: every
+    ``fsync_every``-th frame (and every explicit :meth:`flush`) makes the
+    log durable; a crash loses at most the batches since then.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        region: str,
+        week: int,
+        interval_minutes: int,
+        *,
+        fsync_every: int = 16,
+    ) -> None:
+        if fsync_every < 1:
+            raise ValueError("fsync_every must be at least 1")
+        self._path = path
+        self._region = region
+        self._week = week
+        self._interval = interval_minutes
+        self._fsync_every = fsync_every
+        self._handle = None  # type: ignore[assignment]
+        self._unsynced = 0
+        self._sealed_through = NO_WATERMARK
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def open(
+        cls,
+        path: Path,
+        region: str,
+        week: int,
+        interval_minutes: int,
+        *,
+        fsync_every: int = 16,
+        watermark: int | None = None,
+    ) -> tuple["TailWal", TailReplay]:
+        """Open (creating or replaying) the WAL; returns ``(wal, replay)``.
+
+        Leftover ``*.tmp-*`` siblings from a crashed rewrite are removed
+        first -- they were never acknowledged.  A replayed file whose tail
+        was torn, whose header was unreadable, or whose frames were partly
+        deduped against ``watermark`` is rewritten in place (atomically)
+        so the on-disk bytes are coherent before the first new append.
+        """
+        path.parent.mkdir(parents=True, exist_ok=True)
+        for stray in path.parent.glob(path.name + ".tmp-*"):
+            stray.unlink(missing_ok=True)
+        wal = cls(path, region, week, interval_minutes, fsync_every=fsync_every)
+        replay = read_tail(path, watermark=watermark)
+        if replay is None:
+            replay = TailReplay(region, week, interval_minutes, NO_WATERMARK)
+            if watermark is not None:
+                replay.sealed_through = max(replay.sealed_through, watermark)
+            wal._create(replay.sealed_through)
+        else:
+            stale_header = (
+                replay.region != region
+                or replay.week != week
+                or replay.interval_minutes != interval_minutes
+            )
+            if stale_header and replay.frames:
+                raise LiveWalError(
+                    f"live tail {path} belongs to "
+                    f"({replay.region!r}, week {replay.week}, "
+                    f"{replay.interval_minutes}m), not "
+                    f"({region!r}, week {week}, {interval_minutes}m)"
+                )
+            replay.region, replay.week = region, week
+            replay.interval_minutes = interval_minutes
+            needs_rewrite = (
+                replay.torn or replay.frames_deduped > 0 or stale_header
+                or (watermark is not None and watermark > replay.sealed_through)
+            )
+            if watermark is not None:
+                replay.sealed_through = max(replay.sealed_through, watermark)
+            if needs_rewrite:
+                wal._rewrite(replay.frames, replay.sealed_through)
+            else:
+                wal._sealed_through = replay.sealed_through
+                wal._handle = path.open("ab")
+        return wal, replay
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def sealed_through(self) -> int:
+        """Rows strictly below this epoch minute are sealed (durable in
+        a committed ``.sgx`` segment) and no longer live in this WAL."""
+        return self._sealed_through
+
+    def _create(self, sealed_through: int) -> None:
+        self._sealed_through = sealed_through
+        self._handle = self._path.open("wb")
+        self._handle.write(
+            _encode_header(self._region, self._week, self._interval, sealed_through)
+        )
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        _fsync_dir(self._path.parent)
+
+    def append(
+        self, metadata: ServerMetadata, timestamps: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Append one batch frame (durable at the next fsync boundary)."""
+        if self._handle is None:
+            raise LiveWalError("tail WAL is closed")
+        self._handle.write(encode_frame(metadata, timestamps, values))
+        self._unsynced += 1
+        if self._unsynced >= self._fsync_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Make every appended frame durable now."""
+        if self._handle is None:
+            raise LiveWalError("tail WAL is closed")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._unsynced = 0
+
+    def rewrite(self, frames: list[TailFrame], sealed_through: int) -> None:
+        """Atomically replace the WAL with ``frames`` at a new watermark.
+
+        The seal path's trim step: tmp file, fsync, ``os.replace``,
+        directory fsync -- a crash anywhere leaves either the old complete
+        WAL (replay dedupes against the committed txlog watermark) or the
+        new complete one, never a mix.
+        """
+        self._rewrite(frames, sealed_through)
+
+    def _rewrite(self, frames: list[TailFrame], sealed_through: int) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        tmp = self._path.with_name(f"{self._path.name}.tmp-{os.getpid()}")
+        with tmp.open("wb") as handle:
+            handle.write(
+                _encode_header(self._region, self._week, self._interval, sealed_through)
+            )
+            for frame in frames:
+                handle.write(encode_frame(frame.metadata, frame.timestamps, frame.values))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self._path)
+        _fsync_dir(self._path.parent)
+        self._sealed_through = sealed_through
+        self._unsynced = 0
+        self._handle = self._path.open("ab")
+
+    def delete(self) -> None:
+        """Close and remove the WAL file (partition fully sealed and idle)."""
+        self.close()
+        self._path.unlink(missing_ok=True)
+        _fsync_dir(self._path.parent)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self.flush()
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "TailWal":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------- #
+# Read-side view (what DataLakeStore queries consult)
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class TailSnapshot:
+    """An immutable point-in-time view of one partition's live tail.
+
+    ``servers`` maps server id to ``(metadata, timestamps, values)`` with
+    the raw rows of every surviving frame concatenated in append order and
+    already filtered to the effective seal watermark.  ``raw_rows`` counts
+    them (that is what ``ScanStats.tail_rows_scanned`` reports).
+    """
+
+    region: str
+    week: int
+    interval_minutes: int
+    sealed_through: int
+    servers: dict[str, tuple[ServerMetadata, np.ndarray, np.ndarray]]
+
+    @property
+    def raw_rows(self) -> int:
+        return sum(int(ts.size) for _, ts, _ in self.servers.values())
+
+
+def _snapshot_from_replay(replay: TailReplay) -> TailSnapshot:
+    order: dict[str, list[TailFrame]] = {}
+    for frame in replay.frames:
+        order.setdefault(frame.metadata.server_id, []).append(frame)
+    servers: dict[str, tuple[ServerMetadata, np.ndarray, np.ndarray]] = {}
+    for server_id, frames in order.items():
+        ts = np.concatenate([f.timestamps for f in frames])
+        vs = np.concatenate([f.values for f in frames])
+        servers[server_id] = (frames[0].metadata, ts, vs)
+    return TailSnapshot(
+        region=replay.region,
+        week=replay.week,
+        interval_minutes=replay.interval_minutes,
+        sealed_through=replay.sealed_through,
+        servers=servers,
+    )
+
+
+class LiveTailIndex:
+    """Read-only, cross-process view of every live tail under one lake.
+
+    Queries consult this instead of talking to a :class:`TailWal` writer:
+    the WAL is append-only between seals and atomically replaced by them,
+    so a stat signature of ``(size, mtime_ns)`` over the WAL file *and*
+    the transaction log (whose committed seal ops shift the effective
+    watermark without touching the WAL) is a sound cache key.  A reader in
+    a different process than the ingestor sees exactly the fsync'd state.
+    """
+
+    def __init__(self, root: Path) -> None:
+        self._root = root
+        self._cache: dict[
+            tuple[str, int],
+            tuple[tuple[int, int, int, int], TailSnapshot],
+        ] = {}
+
+    def keys(self) -> list[tuple[str, int]]:
+        """Partitions with an on-disk tail WAL, sorted."""
+        base = live_dir(self._root)
+        if not base.is_dir():
+            return []
+        found: list[tuple[str, int]] = []
+        for region_dir in base.iterdir():
+            if not region_dir.is_dir():
+                continue
+            for path in region_dir.iterdir():
+                match = _WAL_NAME_RE.match(path.name)
+                if match is not None:
+                    found.append((region_dir.name, int(match.group("week"))))
+        return sorted(found)
+
+    def _signature(self, region: str, week: int) -> tuple[int, int, int, int] | None:
+        try:
+            wal_stat = wal_path(self._root, region, week).stat()
+        except FileNotFoundError:
+            return None
+        try:
+            log_stat = (self._root / MANIFEST_DIR_NAME / TXLOG_NAME).stat()
+            log_sig = (log_stat.st_size, log_stat.st_mtime_ns)
+        except FileNotFoundError:
+            log_sig = (0, 0)
+        return (wal_stat.st_size, wal_stat.st_mtime_ns, *log_sig)
+
+    def tail(self, region: str, week: int) -> TailSnapshot | None:
+        """The partition's current tail snapshot (``None``: no tail/empty)."""
+        signature = self._signature(region, week)
+        if signature is None:
+            self._cache.pop((region, week), None)
+            return None
+        cached = self._cache.get((region, week))
+        if cached is not None and cached[0] == signature:
+            snapshot = cached[1]
+            return snapshot if snapshot.servers else None
+        watermark = committed_seal_watermark(self._root, region, week)
+        with warnings.catch_warnings():
+            # Query-side replay of a torn tail must not spam every read;
+            # the owning ingestor warns (and heals) on its next open.
+            warnings.simplefilter("ignore", LiveWalWarning)
+            replay = read_tail(wal_path(self._root, region, week), watermark=watermark)
+        if replay is None:
+            self._cache.pop((region, week), None)
+            return None
+        snapshot = _snapshot_from_replay(replay)
+        self._cache[(region, week)] = (signature, snapshot)
+        return snapshot if snapshot.servers else None

@@ -24,6 +24,7 @@ from repro.storage.manifest.faults import (
 )
 from repro.storage.manifest.manifest import (
     FAULT_POINTS,
+    LIVE_DIR_NAME,
     MANIFEST_DIR_NAME,
     GcReport,
     LakeManifest,
@@ -36,6 +37,7 @@ from repro.storage.manifest.txlog import PendingTransaction, TransactionLog
 
 __all__ = [
     "FAULT_POINTS",
+    "LIVE_DIR_NAME",
     "MANIFEST_DIR_NAME",
     "GcReport",
     "InjectedCrash",

@@ -58,6 +58,7 @@ except ImportError:  # pragma: no cover
 __all__ = [
     "FAULT_POINTS",
     "GcReport",
+    "LIVE_DIR_NAME",
     "LakeManifest",
     "LakeManifestError",
     "ManifestSnapshot",
@@ -69,6 +70,16 @@ MANIFEST_DIR_NAME = "_manifest"
 POINTER_NAME = "MANIFEST.json"
 TXLOG_NAME = "txlog.jsonl"
 LOCK_NAME = "LOCK"
+#: Subdirectory of ``_manifest`` owned by :mod:`repro.storage.live`:
+#: active tail WALs (``live/<region>/week<NNNN>.tail.wal``).  Those files
+#: hold *unsealed* ingested rows -- data that exists nowhere else -- so
+#: neither the orphan sweep nor :meth:`LakeManifest.collect_garbage` may
+#: ever reclaim anything under it.  Both walks below are structurally
+#: safe (non-recursive ``_manifest`` globs; region walks skip
+#: ``_manifest`` entirely) and additionally skip directories outright;
+#: live-tail hygiene (crashed rewrite temps, fully-sealed WALs) is the
+#: ingestor's job on open, never gc's.
+LIVE_DIR_NAME = "live"
 
 #: Every crash-injectable step of a transaction, in protocol order.  The
 #: pointer swap at ``manifest.pointer`` is the commit point: a crash at
@@ -482,6 +493,10 @@ class LakeManifest:
             except (ValueError, KeyError, TypeError):
                 continue
         for path in self._dir.glob("*.tmp-*"):
+            # Non-recursive on purpose: _manifest/live/ (active tail WALs
+            # and their rewrite temps) belongs to repro.storage.live.
+            if path.is_dir():
+                continue
             path.unlink(missing_ok=True)
         for region_dir in self._root.iterdir():
             if not region_dir.is_dir() or region_dir.name == MANIFEST_DIR_NAME:
@@ -551,6 +566,11 @@ class LakeManifest:
                         gen_path.unlink()
                 self._snapshots = {current.generation: current}
             for path in self._dir.glob("*.tmp-*"):
+                # Non-recursive on purpose: never descend into
+                # _manifest/live/ -- unsealed tail rows live there and
+                # exist nowhere else (see LIVE_DIR_NAME).
+                if path.is_dir():
+                    continue
                 report.tmp_removed += 1
                 path.unlink(missing_ok=True)
             for region_dir in self._root.iterdir():

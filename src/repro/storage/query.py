@@ -292,6 +292,10 @@ class ScanStats:
     payload_bytes_stored: int = 0
     payload_bytes_verified: int = 0
     rows: int = 0
+    #: Raw (pre-bucketing) samples read from live tail WALs -- rows not
+    #: yet sealed into any committed segment.  Zero for committed-only
+    #: answers; the live/committed split of a unified read.
+    tail_rows_scanned: int = 0
 
     def absorb_sgx(self, read: SgxReadStats) -> None:
         """Fold one ``.sgx`` read's counters into this rollup."""
@@ -326,6 +330,7 @@ class ScanStats:
             "payload_bytes_stored": self.payload_bytes_stored,
             "payload_bytes_verified": self.payload_bytes_verified,
             "rows": self.rows,
+            "tail_rows_scanned": self.tail_rows_scanned,
         }
 
 
@@ -369,6 +374,27 @@ def truncate_series(series, keep: int):
     )
 
 
+def resample_series(series, interval_minutes: int | None, rng: tuple[int, int] | None = None):
+    """Bucket-mean ``series`` onto the ``interval_minutes`` grid.
+
+    The honest half of ``ExtractQuery.interval_minutes``: extracts are
+    read at the interval they record and this puts them on the interval
+    the query *asked for* (epoch-aligned bucket means via
+    :func:`repro.timeseries.resample.regularize`).  A no-op when the
+    intervals already agree.  ``rng`` re-applies the query's half-open
+    time range afterwards, because a bucket start can land just below
+    the range's first in-range sample.
+    """
+    if interval_minutes is None or series.interval_minutes == interval_minutes:
+        return series
+    from repro.timeseries.resample import regularize
+
+    series = regularize(series.timestamps, series.values, interval_minutes)
+    if rng is not None:
+        series = series.slice(*rng)
+    return series
+
+
 def project_series(series, wants_values: bool, rng: tuple[int, int] | None):
     """Post-parse equivalents of the ``.sgx`` pushdowns for CSV frames:
     slice ``series`` to ``rng`` and blank unprojected values to NaN."""
@@ -389,5 +415,6 @@ __all__ = [
     "ScanStats",
     "check_format",
     "project_series",
+    "resample_series",
     "truncate_series",
 ]

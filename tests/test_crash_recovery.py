@@ -21,14 +21,17 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.storage.datalake import DataLakeStore, ExtractKey
+from repro.storage.live import LIVE_FAULT_POINTS, LiveIngestor
 from repro.storage.manifest import FAULT_POINTS, InjectedCrash, fault_handler
 from repro.storage.migrate import convert_lake
 from repro.storage.query import ExtractQuery
+from repro.timeseries.calendar import MINUTES_PER_DAY
 from repro.timeseries.frame import LoadFrame, ServerMetadata
 
 from tests.helpers import CrashInjector, frame_to_sgx_v1_bytes, make_series
@@ -374,3 +377,119 @@ def test_scan_in_flight_is_isolated_from_writes(tmp_path):
     # A fresh query sees the new generation.
     fresh = lake.query(ExtractQuery(regions=("r0",)))
     assert float(next(iter(fresh.frame.items()))[2].values[0]) == 50.0
+
+
+# --------------------------------------------------------------------- #
+# Live seal transactions: the manifest protocol plus the WAL trim
+# --------------------------------------------------------------------- #
+
+LIVE_KEY = ExtractKey("r0", 0)
+_LIVE_META = ServerMetadata(server_id="s0", region="r0")
+
+
+def _live_setup(root: Path) -> None:
+    """A day plus an hour of raw 1-minute rows, all fsync'd in the tail."""
+    store = DataLakeStore(root)
+    with LiveIngestor(store, interval_minutes=5, chunk_minutes=MINUTES_PER_DAY) as ing:
+        ts = np.arange(0, MINUTES_PER_DAY + 60, dtype=np.int64)
+        ing.ingest(LIVE_KEY, _LIVE_META, ts, np.sin(ts / 60.0) + 2.0)
+
+
+def _live_seal(root: Path) -> None:
+    # Deliberately no close(): an injected crash should leave the
+    # process state exactly like a kill would.
+    ingestor = LiveIngestor(
+        DataLakeStore(root), interval_minutes=5, chunk_minutes=MINUTES_PER_DAY
+    )
+    ingestor.seal(LIVE_KEY, MINUTES_PER_DAY)
+
+
+def _unified_view(root: Path) -> tuple[str, int, int]:
+    """What any reader sees: committed segments plus the live tail."""
+    result = DataLakeStore(root).query(ExtractQuery.for_key(LIVE_KEY))
+    return (result.frame.content_hash(), result.rows, result.stats.tail_rows_scanned)
+
+
+def test_seal_crash_at_every_fault_point_recovers_atomically(tmp_path):
+    """Killing a seal anywhere -- the whole manifest protocol plus the
+    post-commit WAL trim -- leaves committed state on a transaction
+    boundary and never duplicates or loses a row: the unified
+    (committed + tail) answer is identical at every crash site."""
+    ref = tmp_path / "ref"
+    _live_setup(ref)
+    pre_committed = lake_state(ref)
+    pre_unified = _unified_view(ref)
+    _live_seal(ref)
+    post_committed = lake_state(ref)
+    post_unified = _unified_view(ref)
+    assert pre_committed != post_committed
+    # The seal moves rows between worlds without changing the answer
+    # (the invariant the crash matrix below leans on) -- only the
+    # tail-vs-committed split shifts.
+    assert post_unified[:2] == pre_unified[:2]
+    assert pre_unified[2] == MINUTES_PER_DAY + 60 and post_unified[2] == 60
+
+    # Recording run: a seal must hit every manifest fault point plus its
+    # own WAL-trim point, exactly once each.
+    recorded = tmp_path / "recorded"
+    _live_setup(recorded)
+    recorder = CrashInjector(None)
+    with fault_handler(recorder):
+        _live_seal(recorded)
+    counts = Counter(recorder.seen)
+    assert set(counts) == set(LIVE_FAULT_POINTS)
+
+    for point in LIVE_FAULT_POINTS:
+        for occurrence in range(1, counts.get(point, 0) + 1):
+            work = tmp_path / f"work-{point}-{occurrence}"
+            _live_setup(work)
+            injector = CrashInjector(point, occurrence=occurrence)
+            with fault_handler(injector):
+                with pytest.raises(InjectedCrash):
+                    _live_seal(work)
+            assert lake_state(work) in (pre_committed, post_committed), (
+                f"seal crash at {point}#{occurrence} recovered committed "
+                "state off a transaction boundary"
+            )
+            assert _unified_view(work)[:2] == pre_unified[:2], (
+                f"seal crash at {point}#{occurrence} lost or duplicated "
+                "rows in the unified view"
+            )
+            # Re-running the seal converges on the clean outcome.
+            _live_seal(work)
+            assert lake_state(work) == post_committed
+            assert _unified_view(work) == post_unified
+
+
+def test_seal_protocol_hits_manifest_points_then_wal_trim(tmp_path):
+    _live_setup(tmp_path)
+    recorder = CrashInjector(None)
+    with fault_handler(recorder):
+        _live_seal(tmp_path)
+    assert tuple(recorder.seen) == LIVE_FAULT_POINTS
+
+
+def test_crash_between_commit_and_trim_rolls_forward_once(tmp_path):
+    """The seal's own window: commit landed, trim did not.  Replay must
+    dedupe the sealed rows against the txlog watermark -- reopening and
+    re-sealing is a no-op, and ingestion continues above the watermark."""
+    _live_setup(tmp_path)
+    injector = CrashInjector("live.wal.rewrite")
+    with fault_handler(injector):
+        with pytest.raises(InjectedCrash):
+            _live_seal(tmp_path)
+
+    store = DataLakeStore(tmp_path)
+    assert store.manifest.current().generation == 1  # the seal committed
+    with LiveIngestor(
+        store, interval_minutes=5, chunk_minutes=MINUTES_PER_DAY
+    ) as ingestor:
+        # Replay deduped the sealed day; only the trailing hour is live.
+        assert ingestor.pending_rows(LIVE_KEY) == 60
+        assert ingestor.watermark(LIVE_KEY) == MINUTES_PER_DAY
+        assert ingestor.seal(LIVE_KEY, MINUTES_PER_DAY) is None
+        ts = np.arange(MINUTES_PER_DAY + 60, MINUTES_PER_DAY + 120, dtype=np.int64)
+        ingestor.ingest(LIVE_KEY, _LIVE_META, ts, np.full(60, 1.0))
+    result = store.query(ExtractQuery.for_key(LIVE_KEY))
+    assert result.rows == (MINUTES_PER_DAY + 120) // 5
+    assert result.stats.tail_rows_scanned == 120

@@ -189,13 +189,64 @@ class TestImportLayering:
         )
         assert "import-layering" in rules_of(findings)
 
+    def test_core_importing_storage_live_flags(self, tmp_path):
+        # storage.live sits a layer above plain storage: core may depend
+        # on the lake, never on the streaming subsystem riding on it.
+        findings = lint_snippet(
+            tmp_path,
+            "repro/core/bad_live.py",
+            """
+            from repro.storage.live import LiveIngestor
+            """,
+        )
+        assert "import-layering" in rules_of(findings)
+
+    def test_core_importing_plain_storage_passes(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/core/good_lake.py",
+            """
+            from repro.storage.datalake import DataLakeStore
+            from repro.storage.manifest import ManifestTransaction
+            """,
+        )
+        assert "import-layering" not in rules_of(findings)
+
+    def test_serving_importing_storage_live_passes(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/serving/good_live.py",
+            """
+            from repro.storage.live import SealReport
+            """,
+        )
+        assert "import-layering" not in rules_of(findings)
+
+    def test_storage_internal_live_imports_are_exempt(self, tmp_path):
+        # Within one top-level package the DAG does not apply: the lake
+        # folds the tail in via a lazy import of its own subpackage.
+        findings = lint_snippet(
+            tmp_path,
+            "repro/storage/datalake_like.py",
+            """
+            from repro.storage.live import LiveTailIndex
+            """,
+        )
+        assert "import-layering" not in rules_of(findings)
+
     def test_layer_map_matches_real_packages(self):
         packages = {
             p.name
             for p in (REPO_ROOT / "src" / "repro").iterdir()
             if p.is_dir() and (p / "__init__.py").exists() and p.name != "devtools"
         }
-        assert packages == set(LAYERS)
+        top_level = {key for key in LAYERS if "." not in key}
+        assert packages == top_level
+        # Dotted keys must name real subpackages of a declared package.
+        for key in set(LAYERS) - top_level:
+            assert key.split(".")[0] in top_level
+            subdir = (REPO_ROOT / "src" / "repro").joinpath(*key.split("."))
+            assert (subdir / "__init__.py").exists(), key
 
 
 # --------------------------------------------------------------------- #
@@ -633,6 +684,86 @@ class TestManifestBoundary:
             """,
         )
         assert "manifest-boundary" not in rules_of(findings)
+
+
+# --------------------------------------------------------------------- #
+# Rule: live-boundary
+# --------------------------------------------------------------------- #
+
+
+class TestLiveBoundary:
+    def test_open_of_tail_wal_literal_flags(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/fleet_ops/bad_tail.py",
+            """
+            def tamper(root):
+                with open(f"{root}/_manifest/live/r0/week0000.tail.wal", "ab") as fh:
+                    fh.write(b"x")
+            """,
+        )
+        assert "live-boundary" in rules_of(findings)
+
+    def test_write_bytes_via_wal_path_helper_flags(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/storage/bad_tail.py",
+            """
+            from repro.storage.live import wal_path
+
+            def zap(root, region, week):
+                wal_path(root, region, week).write_bytes(b"")
+            """,
+        )
+        assert "live-boundary" in rules_of(findings)
+
+    def test_unlink_under_live_dir_flags(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/serving/bad_tail.py",
+            """
+            from repro.storage.live import live_dir
+
+            def drop(root, region, week):
+                (live_dir(root, region) / f"week{week:04d}.tail.wal").unlink()
+            """,
+        )
+        assert "live-boundary" in rules_of(findings)
+
+    def test_live_subsystem_is_exempt(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/storage/live/wal_like.py",
+            """
+            def heal(path):
+                path.with_suffix(".tail.wal.tmp").replace(path)
+            """,
+        )
+        assert "live-boundary" not in rules_of(findings)
+
+    def test_unrelated_io_passes(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/fleet_ops/good_tail.py",
+            """
+            def report(root, text):
+                (root / "live-report.txt").write_text(text)
+            """,
+        )
+        assert "live-boundary" not in rules_of(findings)
+
+    def test_pragma_with_reason_suppresses(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/storage/suppressed_tail.py",
+            """
+            def torn(path):
+                # repro: allow[live-boundary] crash test forges a torn WAL tail
+                with open(f"{path}/week0000.tail.wal", "ab") as fh:
+                    fh.write(b"partial")
+            """,
+        )
+        assert "live-boundary" not in rules_of(findings)
 
 
 # --------------------------------------------------------------------- #

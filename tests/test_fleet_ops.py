@@ -11,6 +11,7 @@ from repro.fleet_ops.report import FleetReport, FleetUnitOutcome
 from repro.fleet_ops.synthesis import populate_lake
 from repro.storage.datalake import DataLakeStore, ExtractKey
 from repro.telemetry.fleet import default_fleet_spec, extract_spec
+from repro.timeseries.calendar import MINUTES_PER_DAY
 from repro.telemetry.generator import WorkloadGenerator
 
 
@@ -923,3 +924,50 @@ class TestFleetCli:
         assert code == 0
         assert "warm re-run" in out
         assert "Warm-cache speedup" in out
+
+
+class TestLiveCli:
+    LIVE_ARGS = [
+        "live",
+        "--servers",
+        "2",
+        "--days",
+        "2",
+        "--batch-minutes",
+        "360",
+        "--drift-day",
+        "1",
+    ]
+
+    def test_live_runs_and_reports(self, capsys, tmp_path):
+        lake_dir = tmp_path / "lake"
+        code = fleet_main([*self.LIVE_ARGS, "--lake-dir", str(lake_dir)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "action bootstrap -> version 1" in out
+        assert "drifted, action retrain -> version 2" in out
+        assert "Committed generation 2" in out
+        assert "Serving health: active version 2" in out
+        # The lake the simulation built persists when a dir was given.
+        assert (lake_dir / "_manifest" / "MANIFEST.json").exists()
+
+    def test_live_json_output(self, capsys):
+        code = fleet_main([*self.LIVE_ARGS, "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["lake_dir"] is None  # temp lake, already cleaned up
+        assert payload["generation"] == 2
+        assert payload["tail_rows_pending"] == 0
+        assert [d["day"] for d in payload["days"]] == [0, 1]
+        (first,), (second,) = (d["seals"] for d in payload["days"])
+        assert first["action"] == "bootstrap" and first["drifted"] is None
+        assert second["action"] == "retrain" and second["drifted"] is True
+        assert second["rows_sealed"] == 2 * MINUTES_PER_DAY // 5
+        assert payload["health"]["active_version"] == 2
+
+    def test_live_rejects_bad_flags(self, capsys):
+        assert fleet_main(["live", "--days", "0"]) == 2
+        assert fleet_main(["live", "--interval", "7"]) == 2
+        assert fleet_main(["live", "--batch-minutes", "0"]) == 2
+        assert fleet_main(["live", "--fsync-every", "0"]) == 2
+        assert fleet_main(["live", "--drift-factor", "-1"]) == 2

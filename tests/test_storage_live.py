@@ -1,0 +1,537 @@
+"""Unit tests for the live tail: WAL framing, replay, sealing, tail reads.
+
+Layered bottom-up: the raw WAL (torn tails, CRC damage, watermark
+dedupe), the read-side :class:`LiveTailIndex`, the
+:class:`LiveIngestor` write surface (sealing = one manifest
+transaction), and the query/scan/aggregate unification of committed
+segments with unsealed tail rows -- plus the gc-vs-active-tail safety
+regression.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.storage.datalake import DataLakeStore, ExtractKey, ExtractNotFoundError
+from repro.storage.live import (
+    NO_WATERMARK,
+    LiveIngestError,
+    LiveIngestor,
+    LiveTailIndex,
+    LiveWalError,
+    LiveWalWarning,
+    StaleBatchError,
+    committed_seal_watermark,
+    wal_path,
+)
+from repro.storage.live.wal import TailWal, read_tail
+from repro.storage.query import ExtractQuery, ScanStats
+from repro.timeseries.calendar import MINUTES_PER_DAY
+from repro.timeseries.frame import LoadFrame, ServerMetadata
+from repro.timeseries.resample import regularize
+
+from tests.helpers import make_series
+
+META = ServerMetadata(server_id="srv-a", region="r0")
+META_B = ServerMetadata(server_id="srv-b", region="r0")
+KEY = ExtractKey(region="r0", week=0)
+
+
+def minute_batch(start, n, level=10.0):
+    """``n`` one-minute raw samples starting at ``start``."""
+    ts = np.arange(start, start + n, dtype=np.int64)
+    return ts, np.full(n, level, dtype=np.float64)
+
+
+# ---------------------------------------------------------------------- #
+# WAL framing and replay
+# ---------------------------------------------------------------------- #
+
+
+class TestTailWal:
+    def test_roundtrip_preserves_batches_and_metadata(self, tmp_path):
+        path = wal_path(tmp_path, "r0", 0)
+        wal, replay = TailWal.open(path, "r0", 0, 5)
+        assert replay.frames == [] and replay.sealed_through == NO_WATERMARK
+        ts, vs = minute_batch(0, 7, level=3.5)
+        wal.append(META, ts, vs)
+        wal.append(META_B, ts + 7, vs + 1.0)
+        wal.close()
+
+        replay = read_tail(path)
+        assert [f.metadata.server_id for f in replay.frames] == ["srv-a", "srv-b"]
+        assert replay.frames[0].metadata.region == "r0"
+        np.testing.assert_array_equal(replay.frames[0].timestamps, ts)
+        np.testing.assert_array_equal(replay.frames[1].values, vs + 1.0)
+        assert replay.rows == 14 and not replay.torn
+
+    def test_lives_under_manifest_live_dir(self, tmp_path):
+        path = wal_path(tmp_path, "r0", 3)
+        assert path == tmp_path / "_manifest" / "live" / "r0" / "week0003.tail.wal"
+
+    def test_torn_tail_drops_partial_frame_loudly(self, tmp_path):
+        path = wal_path(tmp_path, "r0", 0)
+        wal, _ = TailWal.open(path, "r0", 0, 5)
+        wal.append(META, *minute_batch(0, 5))
+        wal.append(META, *minute_batch(5, 5))
+        wal.close()
+        intact = path.stat().st_size
+        path.write_bytes(path.read_bytes() + b"\x09\x00\x00\x00partial")
+
+        with pytest.warns(LiveWalWarning, match="torn trailing"):
+            replay = read_tail(path)
+        assert replay.torn and replay.frames_dropped == 1
+        assert len(replay.frames) == 2 and replay.rows == 10
+        assert replay.bytes_dropped == path.stat().st_size - intact
+
+    def test_crc_damage_drops_frame_and_everything_after(self, tmp_path):
+        path = wal_path(tmp_path, "r0", 0)
+        wal, _ = TailWal.open(path, "r0", 0, 5)
+        wal.append(META, *minute_batch(0, 5))
+        wal.append(META, *minute_batch(5, 5))
+        wal.append(META, *minute_batch(10, 5))
+        wal.close()
+        good = read_tail(path)
+        data = bytearray(path.read_bytes())
+        # Flip a payload byte in the middle frame: its CRC no longer
+        # matches, so it and the (valid) frame after it are dropped.
+        frame_len = (path.stat().st_size - good.bytes_dropped) // 3  # same-size frames
+        header_end = path.stat().st_size - 3 * frame_len
+        data[header_end + frame_len + 40] ^= 0xFF
+        path.write_bytes(bytes(data))
+
+        with pytest.warns(LiveWalWarning):
+            replay = read_tail(path)
+        assert len(replay.frames) == 1 and replay.frames_dropped == 1
+        np.testing.assert_array_equal(replay.frames[0].timestamps, np.arange(5))
+
+    def test_torn_header_replays_as_unacknowledged_empty_tail(self, tmp_path):
+        path = wal_path(tmp_path, "r0", 0)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"SGW")  # creation crashed inside the header
+        with pytest.warns(LiveWalWarning, match="header torn"):
+            replay = read_tail(path)
+        assert replay.frames == [] and replay.bytes_dropped == 3
+
+    def test_open_self_heals_torn_tail(self, tmp_path):
+        path = wal_path(tmp_path, "r0", 0)
+        wal, _ = TailWal.open(path, "r0", 0, 5)
+        wal.append(META, *minute_batch(0, 5))
+        wal.close()
+        path.write_bytes(path.read_bytes() + b"\xde\xad\xbe\xef")
+
+        with pytest.warns(LiveWalWarning):
+            wal, replay = TailWal.open(path, "r0", 0, 5)
+        wal.close()
+        assert replay.torn and replay.rows == 5
+        # The rewrite left coherent bytes: a fresh replay is clean.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            healed = read_tail(path)
+        assert not healed.torn and healed.rows == 5
+
+    def test_replay_dedupes_rows_below_watermark(self, tmp_path):
+        path = wal_path(tmp_path, "r0", 0)
+        wal, _ = TailWal.open(path, "r0", 0, 5)
+        wal.append(META, *minute_batch(0, 10))  # entirely below
+        wal.append(META, *minute_batch(5, 10))  # straddles
+        wal.close()
+
+        replay = read_tail(path, watermark=10)
+        assert replay.sealed_through == 10
+        assert replay.frames_deduped == 1 and len(replay.frames) == 1
+        np.testing.assert_array_equal(replay.frames[0].timestamps, np.arange(10, 15))
+
+    def test_open_against_foreign_partition_raises(self, tmp_path):
+        path = wal_path(tmp_path, "r0", 0)
+        wal, _ = TailWal.open(path, "r0", 0, 5)
+        wal.append(META, *minute_batch(0, 5))
+        wal.close()
+        with pytest.raises(LiveWalError, match="belongs to"):
+            TailWal.open(path, "r1", 0, 5)
+
+    def test_rewrite_is_atomic_and_cleans_stray_tmps(self, tmp_path):
+        path = wal_path(tmp_path, "r0", 0)
+        wal, _ = TailWal.open(path, "r0", 0, 5)
+        wal.append(META, *minute_batch(0, 5))
+        wal.close()
+        stray = path.with_name(path.name + ".tmp-999")
+        stray.write_bytes(b"leftover from a crashed rewrite")
+
+        wal, replay = TailWal.open(path, "r0", 0, 5)
+        wal.close()
+        assert not stray.exists()
+        assert replay.rows == 5
+
+    def test_fsync_every_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="fsync_every"):
+            TailWal(wal_path(tmp_path, "r0", 0), "r0", 0, 5, fsync_every=0)
+
+
+class TestLiveTailIndex:
+    def test_keys_discovers_on_disk_tails(self, tmp_path):
+        for region, week in [("r0", 0), ("r0", 2), ("r1", 1)]:
+            wal, _ = TailWal.open(wal_path(tmp_path, region, week), region, week, 5)
+            wal.close()
+        index = LiveTailIndex(tmp_path)
+        assert index.keys() == [("r0", 0), ("r0", 2), ("r1", 1)]
+
+    def test_tail_caches_until_wal_changes(self, tmp_path):
+        wal, _ = TailWal.open(wal_path(tmp_path, "r0", 0), "r0", 0, 5)
+        wal.append(META, *minute_batch(0, 5))
+        wal.flush()
+        index = LiveTailIndex(tmp_path)
+        first = index.tail("r0", 0)
+        assert first is not None and first.raw_rows == 5
+        assert index.tail("r0", 0) is first  # unchanged signature -> cached
+
+        wal.append(META, *minute_batch(5, 5))
+        wal.flush()
+        assert index.tail("r0", 0).raw_rows == 10
+        wal.close()
+
+    def test_empty_or_missing_tail_is_none(self, tmp_path):
+        index = LiveTailIndex(tmp_path)
+        assert index.tail("r0", 0) is None
+        wal, _ = TailWal.open(wal_path(tmp_path, "r0", 0), "r0", 0, 5)
+        wal.close()
+        assert index.tail("r0", 0) is None  # header only, no frames
+
+
+# ---------------------------------------------------------------------- #
+# LiveIngestor
+# ---------------------------------------------------------------------- #
+
+
+def make_ingestor(tmp_path, **kwargs):
+    store = DataLakeStore(tmp_path / "lake")
+    kwargs.setdefault("interval_minutes", 5)
+    kwargs.setdefault("chunk_minutes", MINUTES_PER_DAY)
+    return store, LiveIngestor(store, **kwargs)
+
+
+class TestLiveIngestor:
+    def test_requires_on_disk_unpinned_store(self, tmp_path):
+        with pytest.raises(ValueError, match="on-disk"):
+            LiveIngestor(DataLakeStore())
+        store = DataLakeStore(tmp_path / "lake")
+        store.write_extract(KEY, LoadFrame(5))
+        pinned = DataLakeStore(tmp_path / "lake", pinned_generation=1)
+        with pytest.raises(ValueError, match="pinned"):
+            LiveIngestor(pinned)
+
+    def test_chunk_must_be_multiple_of_interval(self, tmp_path):
+        store = DataLakeStore(tmp_path / "lake")
+        with pytest.raises(ValueError, match="multiple"):
+            LiveIngestor(store, interval_minutes=7, chunk_minutes=MINUTES_PER_DAY)
+
+    def test_ingest_accumulates_and_reopen_replays(self, tmp_path):
+        store, ingestor = make_ingestor(tmp_path)
+        ingestor.ingest(KEY, META, *minute_batch(0, 60))
+        ingestor.ingest(KEY, META_B, *minute_batch(0, 30))
+        assert ingestor.pending_rows(KEY) == 90
+        assert ingestor.tails() == [KEY]
+        ingestor.close()
+
+        reopened = LiveIngestor(store, interval_minutes=5)
+        assert reopened.pending_rows(KEY) == 90
+        assert reopened.watermark(KEY) == NO_WATERMARK
+        reopened.close()
+
+    def test_seal_commits_one_manifest_transaction(self, tmp_path):
+        store, ingestor = make_ingestor(tmp_path)
+        ingestor.ingest(KEY, META, *minute_batch(0, MINUTES_PER_DAY + 60))
+        report = ingestor.seal(KEY, MINUTES_PER_DAY)
+        ingestor.close()
+
+        assert report.sealed_through == MINUTES_PER_DAY
+        assert report.rows_sealed == MINUTES_PER_DAY // 5
+        assert report.servers == ("srv-a",)
+        assert report.generation == 1
+        assert report.tail_rows_remaining == 60
+        assert store.manifest.current().generation == 1
+        assert committed_seal_watermark(store.root, "r0", 0) == MINUTES_PER_DAY
+
+        # The committed segment holds exactly the sealed window; the
+        # unified read surface adds the 60 unsealed minutes on top.
+        sealed = store.read_extract(KEY, fmt="sgx")
+        assert sealed.series("srv-a").start == 0
+        assert len(sealed.series("srv-a")) == MINUTES_PER_DAY // 5
+        unified = store.read_extract(KEY)
+        assert len(unified.series("srv-a")) == (MINUTES_PER_DAY + 60) // 5
+
+    def test_seal_boundary_must_be_chunk_aligned(self, tmp_path):
+        _, ingestor = make_ingestor(tmp_path)
+        ingestor.ingest(KEY, META, *minute_batch(0, MINUTES_PER_DAY))
+        with pytest.raises(LiveIngestError, match="not aligned"):
+            ingestor.seal(KEY, 77)
+        ingestor.close()
+
+    def test_seal_with_nothing_below_boundary_is_noop(self, tmp_path):
+        _, ingestor = make_ingestor(tmp_path)
+        assert ingestor.seal(KEY) is None  # no tail at all
+        ingestor.ingest(KEY, META, *minute_batch(MINUTES_PER_DAY, 10))
+        assert ingestor.seal(KEY, MINUTES_PER_DAY) is None
+        ingestor.close()
+
+    def test_stale_batch_below_watermark_rejected(self, tmp_path):
+        store, ingestor = make_ingestor(tmp_path)
+        ingestor.ingest(KEY, META, *minute_batch(0, MINUTES_PER_DAY))
+        ingestor.seal(KEY, MINUTES_PER_DAY)
+        with pytest.raises(StaleBatchError, match="immutable"):
+            ingestor.ingest(KEY, META, *minute_batch(MINUTES_PER_DAY - 5, 10))
+        # At/above the watermark is fine.
+        assert ingestor.ingest(KEY, META, *minute_batch(MINUTES_PER_DAY, 10)) == 10
+        ingestor.close()
+
+    def test_consecutive_seals_extend_the_segment(self, tmp_path):
+        store, ingestor = make_ingestor(tmp_path)
+        ingestor.ingest(KEY, META, *minute_batch(0, 2 * MINUTES_PER_DAY))
+        first = ingestor.seal(KEY, MINUTES_PER_DAY)
+        second = ingestor.seal(KEY, 2 * MINUTES_PER_DAY)
+        ingestor.close()
+
+        assert (first.generation, second.generation) == (1, 2)
+        assert second.window_start == MINUTES_PER_DAY
+        series = store.read_extract(KEY).series("srv-a")
+        assert len(series) == 2 * MINUTES_PER_DAY // 5
+        assert ingestor.pending_rows() == 0
+
+    def test_seal_due_seals_every_tail_to_the_boundary(self, tmp_path):
+        _, ingestor = make_ingestor(tmp_path)
+        other = ExtractKey(region="r1", week=0)
+        ingestor.ingest(KEY, META, *minute_batch(0, MINUTES_PER_DAY + 30))
+        ingestor.ingest(other, ServerMetadata(server_id="x", region="r1"),
+                        *minute_batch(0, MINUTES_PER_DAY))
+        reports = ingestor.seal_due(MINUTES_PER_DAY + 30)
+        ingestor.close()
+        assert [r.key for r in reports] == [KEY, other]
+        assert all(r.sealed_through == MINUTES_PER_DAY for r in reports)
+
+    def test_seal_preserves_pinned_reader(self, tmp_path):
+        store, ingestor = make_ingestor(tmp_path)
+        frame = LoadFrame(5)
+        frame.add_server(META, make_series([1.0] * 288, start=0))
+        store.write_extract(KEY, frame)  # generation 1
+        pinned = DataLakeStore(store.root, pinned_generation=1)
+
+        ingestor.ingest(KEY, META, *minute_batch(MINUTES_PER_DAY, MINUTES_PER_DAY))
+        report = ingestor.seal(KEY, 2 * MINUTES_PER_DAY)
+        ingestor.close()
+        assert report.generation == 2
+        # The pinned reader still sees exactly generation 1's bytes and
+        # never the tail.
+        assert len(pinned.read_extract(KEY).series("srv-a")) == 288
+        assert pinned.query(ExtractQuery.for_key(KEY)).stats.tail_rows_scanned == 0
+
+
+# ---------------------------------------------------------------------- #
+# Query/scan/aggregate unification
+# ---------------------------------------------------------------------- #
+
+
+class TestTailReads:
+    def test_query_unifies_committed_and_tail(self, tmp_path):
+        store, ingestor = make_ingestor(tmp_path)
+        ingestor.ingest(KEY, META, *minute_batch(0, MINUTES_PER_DAY + 300))
+        ingestor.seal(KEY, MINUTES_PER_DAY)
+
+        result = store.query(ExtractQuery.for_key(KEY))
+        series = result.frame.series("srv-a")
+        assert len(series) == (MINUTES_PER_DAY + 300) // 5
+        assert result.stats.tail_rows_scanned == 300
+        ingestor.close()
+
+    def test_tail_only_partition_visible_to_query_not_read_extract(self, tmp_path):
+        store, ingestor = make_ingestor(tmp_path)
+        ingestor.ingest(KEY, META, *minute_batch(0, 50))
+        ingestor.flush()
+
+        result = store.query(ExtractQuery.for_key(KEY))
+        assert len(result.frame.series("srv-a")) == 10  # 50 raw -> 5-minute grid
+        with pytest.raises(ExtractNotFoundError):
+            store.read_extract(KEY)  # stored-segment contract unchanged
+        ingestor.close()
+
+    def test_include_tail_false_and_forced_fmt_exclude_tail(self, tmp_path):
+        store, ingestor = make_ingestor(tmp_path)
+        ingestor.ingest(KEY, META, *minute_batch(0, MINUTES_PER_DAY + 300))
+        ingestor.seal(KEY, MINUTES_PER_DAY)
+
+        committed_rows = MINUTES_PER_DAY // 5
+        no_tail = store.query(ExtractQuery.for_key(KEY), include_tail=False)
+        assert len(no_tail.frame.series("srv-a")) == committed_rows
+        assert no_tail.stats.tail_rows_scanned == 0
+        forced = store.query(ExtractQuery.for_key(KEY, fmt="sgx"))
+        assert len(forced.frame.series("srv-a")) == committed_rows
+        ingestor.close()
+
+    def test_tail_rows_respect_server_and_range_filters(self, tmp_path):
+        store, ingestor = make_ingestor(tmp_path)
+        ingestor.ingest(KEY, META, *minute_batch(0, 100))
+        ingestor.ingest(KEY, META_B, *minute_batch(0, 100))
+        ingestor.flush()
+
+        result = store.query(
+            ExtractQuery.for_key(KEY, servers=("srv-b",), start_minute=50, end_minute=80)
+        )
+        assert list(result.frame.server_ids()) == ["srv-b"]
+        series = result.frame.series("srv-b")
+        assert series.start >= 50 and series.timestamps.max() < 80
+        # Raw tail rows are only counted for servers that pass the filter.
+        assert result.stats.tail_rows_scanned == 100
+        ingestor.close()
+
+    def test_scan_streams_tail_after_committed(self, tmp_path):
+        store, ingestor = make_ingestor(tmp_path)
+        ingestor.ingest(KEY, META, *minute_batch(0, MINUTES_PER_DAY + 300))
+        ingestor.seal(KEY, MINUTES_PER_DAY)
+
+        stats = ScanStats()
+        items = list(store.scan(ExtractQuery.for_key(KEY), stats=stats))
+        ingestor.close()
+        assert [meta.server_id for _key, meta, _series in items] == ["srv-a", "srv-a"]
+        assert stats.tail_rows_scanned == 300
+        total = sum(len(series) for _key, _meta, series in items)
+        assert total == (MINUTES_PER_DAY + 300) // 5
+
+    def test_aggregate_answer_is_invariant_across_seal(self, tmp_path):
+        store, ingestor = make_ingestor(tmp_path)
+        rng = np.random.default_rng(3)
+        ts = np.arange(0, MINUTES_PER_DAY, dtype=np.int64)
+        vs = rng.uniform(0.0, 100.0, ts.size)
+        ingestor.ingest(KEY, META, ts, vs)
+        ingestor.flush()
+
+        q = ExtractQuery.for_key(KEY, aggregates=("count", "sum", "min", "max"))
+        before = store.query(q).aggregates[()]
+        ingestor.seal(KEY, MINUTES_PER_DAY)
+        after = store.query(q).aggregates[()]
+        ingestor.close()
+        assert before["count"] == after["count"] == MINUTES_PER_DAY // 5
+        assert before["sum"] == pytest.approx(after["sum"])
+        assert (before["min"], before["max"]) == (
+            pytest.approx(after["min"]), pytest.approx(after["max"])
+        )
+
+    def test_no_double_count_when_crash_left_sealed_rows_in_wal(self, tmp_path):
+        store, ingestor = make_ingestor(tmp_path)
+        ingestor.ingest(KEY, META, *minute_batch(0, MINUTES_PER_DAY + 60))
+        ingestor.seal(KEY, MINUTES_PER_DAY)
+        ingestor.close()
+
+        # Simulate the crash window between commit and trim: restore a
+        # WAL that still carries the sealed rows.
+        wal, _ = TailWal.open(wal_path(store.root, "r0", 0), "r0", 0, 5)
+        wal.rewrite([], NO_WATERMARK)
+        wal.append(META, *minute_batch(0, MINUTES_PER_DAY + 60))
+        wal.close()
+
+        result = store.query(ExtractQuery.for_key(KEY))
+        # The txlog watermark wins: sealed rows surface exactly once.
+        assert len(result.frame.series("srv-a")) == (MINUTES_PER_DAY + 60) // 5
+        assert result.stats.tail_rows_scanned == 60
+
+
+# ---------------------------------------------------------------------- #
+# Satellite 2: gc never touches an active tail
+# ---------------------------------------------------------------------- #
+
+
+class TestGcSafety:
+    def test_collect_garbage_mid_ingestion_preserves_the_tail(self, tmp_path):
+        store, ingestor = make_ingestor(tmp_path)
+        ingestor.ingest(KEY, META, *minute_batch(0, 2 * MINUTES_PER_DAY))
+        ingestor.seal(KEY, MINUTES_PER_DAY)  # gen 1
+        ingestor.seal(KEY, 2 * MINUTES_PER_DAY)  # gen 2: gen-1 segment is garbage
+        ingestor.ingest(KEY, META, *minute_batch(2 * MINUTES_PER_DAY, 120))
+        ingestor.flush()
+
+        wal_file = wal_path(store.root, "r0", 0)
+        before = wal_file.read_bytes()
+        report = store.manifest.collect_garbage()
+        assert report.segments_removed >= 1  # the superseded gen-1 segment
+
+        # The active tail is untouched, on disk and still queryable.
+        assert wal_file.read_bytes() == before
+        result = store.query(ExtractQuery.for_key(KEY))
+        assert result.stats.tail_rows_scanned == 120
+        assert len(result.frame.series("srv-a")) == (2 * MINUTES_PER_DAY + 120) // 5
+
+        # And the ingestor keeps working across the gc.
+        ingestor.ingest(KEY, META, *minute_batch(2 * MINUTES_PER_DAY + 120, 60))
+        assert ingestor.pending_rows(KEY) == 180
+        ingestor.close()
+
+    def test_orphan_sweep_ignores_live_tmp_files(self, tmp_path):
+        store, ingestor = make_ingestor(tmp_path)
+        ingestor.ingest(KEY, META, *minute_batch(0, MINUTES_PER_DAY))
+        ingestor.seal(KEY, MINUTES_PER_DAY)
+        ingestor.close()
+        # A crashed WAL rewrite can leave a tmp inside _manifest/live;
+        # only TailWal.open may reclaim it, never the manifest sweep/gc.
+        stray = wal_path(store.root, "r0", 0).with_name("week0000.tail.wal.tmp-1")
+        stray.write_bytes(b"crashed rewrite")
+
+        store.manifest.collect_garbage()
+        assert stray.exists()
+        wal, _ = TailWal.open(wal_path(store.root, "r0", 0), "r0", 0, 5)
+        wal.close()
+        assert not stray.exists()
+
+
+# ---------------------------------------------------------------------- #
+# Satellite 1: honest interval_minutes (resample parity)
+# ---------------------------------------------------------------------- #
+
+
+class TestIntervalResampleParity:
+    @pytest.mark.parametrize("fmt", ["sgx", "csv"])
+    def test_query_interval_matches_manual_resample(self, tmp_path, fmt):
+        store = DataLakeStore(tmp_path / "lake", write_format=fmt)
+        rng = np.random.default_rng(11)
+        frame = LoadFrame(5)
+        for meta in (META, META_B):
+            frame.add_server(
+                meta,
+                make_series(rng.uniform(0.0, 100.0, 288), start=0, interval=5),
+            )
+        store.write_extract(KEY, frame)
+
+        native = store.query(ExtractQuery.for_key(KEY, interval_minutes=None)).frame
+        bucketed = store.query(ExtractQuery.for_key(KEY, interval_minutes=60)).frame
+        for server_id, _meta, series in native.items():
+            expected = regularize(series.timestamps, series.values, 60)
+            got = bucketed.series(server_id)
+            assert got.interval_minutes == 60
+            np.testing.assert_array_equal(got.timestamps, expected.timestamps)
+            np.testing.assert_allclose(got.values, expected.values)
+
+    def test_ranged_resample_stays_inside_the_range(self, tmp_path):
+        store = DataLakeStore(tmp_path / "lake")
+        frame = LoadFrame(5)
+        frame.add_server(META, make_series(np.arange(288.0), start=0, interval=5))
+        store.write_extract(KEY, frame)
+
+        result = store.query(
+            ExtractQuery.for_key(
+                KEY, interval_minutes=60, start_minute=90, end_minute=600
+            )
+        )
+        series = result.frame.series("srv-a")
+        # Bucket starts are grid-aligned, so the first surviving bucket
+        # is 120 (the 60-bucket at 60 reaches back before 90).
+        assert series.start >= 90
+        assert int(series.timestamps.max()) < 600
+        assert series.interval_minutes == 60
+
+    def test_tail_rows_bucket_onto_the_requested_interval(self, tmp_path):
+        store, ingestor = make_ingestor(tmp_path)
+        ingestor.ingest(KEY, META, *minute_batch(0, 120, level=4.0))
+        ingestor.flush()
+        result = store.query(ExtractQuery.for_key(KEY, interval_minutes=30))
+        series = result.frame.series("srv-a")
+        assert series.interval_minutes == 30 and len(series) == 4
+        np.testing.assert_allclose(series.values, 4.0)
+        ingestor.close()
